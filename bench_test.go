@@ -1,0 +1,122 @@
+package capsim
+
+import (
+	"testing"
+
+	"capsim/internal/experiments"
+)
+
+// benchConfig returns reduced budgets so the full `go test -bench=.` sweep
+// regenerates every figure in minutes on one core. Raise the budgets (or use
+// cmd/capsim with -cache-refs / -queue-instrs) for full-fidelity runs.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.CacheWarmRefs = 20_000
+	cfg.CacheRefs = 100_000
+	cfg.QueueInstrs = 30_000
+	return cfg
+}
+
+// benchExperiment runs one of the paper's figures/tables per benchmark
+// iteration and reports its aggregate text size (to keep the work observable
+// and defeat dead-code elimination).
+func benchExperiment(b *testing.B, id string) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Figures)+len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// Figure 1(a): cache address-bus wire delay vs number of 2KB subarrays.
+func BenchmarkFig1a(b *testing.B) { benchExperiment(b, "fig1a") }
+
+// Figure 1(b): cache address-bus wire delay vs number of 4KB subarrays.
+func BenchmarkFig1b(b *testing.B) { benchExperiment(b, "fig1b") }
+
+// Figure 2: integer-queue wire delay vs entry count.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Figure 7: per-application TPI vs L1 Dcache size (fixed boundaries).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Figure 8: TPImiss, best conventional vs process-level adaptive hierarchy.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// Figure 9: TPI, best conventional vs process-level adaptive hierarchy.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figure 10: per-application TPI vs instruction-queue size.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Figure 11: TPI, best conventional vs process-level adaptive queue.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Figure 12: turb3d per-interval snapshots, 64- vs 128-entry queue.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Figure 13: vortex per-interval snapshots, 16- vs 64-entry queue.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Ablation: Section 6 interval predictor vs process-level vs oracle.
+func BenchmarkAblationInterval(b *testing.B) { benchExperiment(b, "ablation-interval") }
+
+// Ablation: clock-switch penalty sweep.
+func BenchmarkAblationSwitchPenalty(b *testing.B) { benchExperiment(b, "ablation-switch") }
+
+// Ablation: increment granularity (paper Section 5.2.1's design choice).
+func BenchmarkAblationIncrement(b *testing.B) { benchExperiment(b, "ablation-increment") }
+
+// Ablation: Section 4.1 low-power mode.
+func BenchmarkAblationPower(b *testing.B) { benchExperiment(b, "ablation-power") }
+
+// Extension: adaptive TLB with the Section 4.2 backup strategy.
+func BenchmarkAblationTLB(b *testing.B) { benchExperiment(b, "ablation-tlb") }
+
+// Extension: adaptive branch-predictor table sizing.
+func BenchmarkAblationBpred(b *testing.B) { benchExperiment(b, "ablation-bpred") }
+
+// Extension: the full Figure 5 processor — joint cache+queue adaptation.
+func BenchmarkAblationCombined(b *testing.B) { benchExperiment(b, "ablation-combined") }
+
+// --- Micro-benchmarks of the simulation substrates -----------------------
+
+func BenchmarkCacheAccess(b *testing.B) {
+	bm, err := BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewCacheMachine(bm, 1, PaperCacheParams(), 2, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 1 << 12
+	for i := 0; i < b.N; i += chunk {
+		m.RunInterval(chunk)
+	}
+}
+
+func BenchmarkQueueIssue(b *testing.B) {
+	bm, err := BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewQueueMachine(bm, 1, PaperQueueSizes(), 3, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 1 << 12
+	for i := 0; i < b.N; i += chunk {
+		m.RunInterval(chunk)
+	}
+}

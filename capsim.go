@@ -1,0 +1,126 @@
+// Package capsim is a Go reproduction of "Dynamic IPC/Clock Rate
+// Optimization" — David H. Albonesi's Complexity-Adaptive Processors (CAPs),
+// ISCA 1998.
+//
+// CAPs replace fixed superscalar control and cache structures with
+// configurable ones built on the repeater (wire-buffer) methodologies of
+// deep-submicron design, and pair them with a dynamic clock so that every
+// configuration runs at its full clock-rate potential. The runtime can then
+// trade IPC against clock rate to match the needs of the running
+// application, minimizing TPI (time per instruction = cycle time / IPC).
+//
+// This package is the stable facade over the implementation packages:
+//
+//   - the adaptive two-level Dcache hierarchy (movable L1/L2 boundary,
+//     exclusive caching) and the adaptive out-of-order instruction queue;
+//   - the technology models behind them (Bakoglu repeater insertion,
+//     CACTI-style cache timing, Palacharla wakeup/select timing);
+//   - configuration-management policies: conventional fixed, the paper's
+//     process-level scheme, and the Section 6 confidence-gated interval
+//     predictor;
+//   - the synthetic workload models standing in for SPEC95 + CMU + NAS;
+//   - the experiment harness regenerating every figure of the paper's
+//     evaluation.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package capsim
+
+import (
+	"capsim/internal/cache"
+	"capsim/internal/core"
+	"capsim/internal/experiments"
+	"capsim/internal/metrics"
+	"capsim/internal/tech"
+	"capsim/internal/workload"
+)
+
+// Re-exported core types: the CAP control plane.
+type (
+	// AdaptiveStructure is a complexity-adaptive structure (CAS).
+	AdaptiveStructure = core.AdaptiveStructure
+	// StructureConfig is one selectable configuration of a CAS.
+	StructureConfig = core.Config
+	// Policy is a configuration-management heuristic.
+	Policy = core.Policy
+	// FixedPolicy models a conventional, design-time-frozen processor.
+	FixedPolicy = core.FixedPolicy
+	// ProcessLevelPolicy is the paper's per-application oracle scheme.
+	ProcessLevelPolicy = core.ProcessLevelPolicy
+	// IntervalPolicy is the Section 6 confidence-gated interval predictor.
+	IntervalPolicy = core.IntervalPolicy
+	// QueueMachine is the adaptive instruction-queue CAP.
+	QueueMachine = core.QueueMachine
+	// CacheMachine is the adaptive Dcache-hierarchy CAP.
+	CacheMachine = core.CacheMachine
+	// Sample is one interval measurement from the monitoring hardware.
+	Sample = core.Sample
+	// Benchmark is a synthetic application model.
+	Benchmark = workload.Benchmark
+	// CacheParams is the adaptive hierarchy's physical organization.
+	CacheParams = cache.Params
+	// ExperimentConfig holds experiment run budgets.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is a regenerated table/figure set.
+	ExperimentResult = experiments.Result
+	// Figure is a reproduced paper figure.
+	Figure = metrics.Figure
+	// Table is a reproduced paper table.
+	Table = metrics.Table
+)
+
+// Feature sizes studied by the paper.
+const (
+	Micron025 = tech.Micron025
+	Micron018 = tech.Micron018
+	Micron012 = tech.Micron012
+)
+
+// NewQueueMachine builds an adaptive instruction-queue CAP for a benchmark.
+// sizes lists the selectable entry counts (PaperQueueSizes for the paper's
+// set), initial indexes into it, and penaltyCycles < 0 selects the default
+// clock-switch penalty.
+func NewQueueMachine(b Benchmark, seed uint64, sizes []int, initial, penaltyCycles int) (*QueueMachine, error) {
+	return core.NewQueueMachine(b, seed, sizes, initial, penaltyCycles, tech.Micron018)
+}
+
+// NewCacheMachine builds an adaptive Dcache-hierarchy CAP for a benchmark
+// with the L1/L2 boundary initially after `initial` increments.
+func NewCacheMachine(b Benchmark, seed uint64, p CacheParams, initial, penaltyCycles int) (*CacheMachine, error) {
+	return core.NewCacheMachine(b, seed, p, core.PaperMaxBoundary, initial, penaltyCycles)
+}
+
+// PaperQueueSizes returns the paper's queue configurations (16-128 entries).
+func PaperQueueSizes() []int { return core.PaperQueueSizes() }
+
+// PaperCacheParams returns the paper's 128 KB / 16x8KB 2-way hierarchy.
+func PaperCacheParams() CacheParams { return cache.PaperParams() }
+
+// RunQueue drives a queue CAP under a policy for `intervals` intervals of
+// `n` instructions.
+func RunQueue(q *QueueMachine, p Policy, intervals, n int64, keepSamples bool) core.RunResult {
+	return core.RunQueue(q, p, intervals, n, keepSamples)
+}
+
+// RunCache drives a cache CAP under a policy for `intervals` intervals of
+// `n` references.
+func RunCache(c *CacheMachine, p Policy, intervals, n int64, keepSamples bool) core.CacheRunResult {
+	return core.RunCache(c, p, intervals, n, keepSamples)
+}
+
+// Benchmarks returns all 22 application models in the paper's order.
+func Benchmarks() []Benchmark { return workload.All() }
+
+// BenchmarkByName looks up one application model.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// Experiments lists the reproducible experiment IDs (fig1a ... fig13 and the
+// ablations).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables/figures.
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return experiments.Run(id, cfg)
+}
+
+// DefaultExperimentConfig returns the standard (scaled-down) run budgets.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }

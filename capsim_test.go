@@ -1,0 +1,83 @@
+package capsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeBenchmarks(t *testing.T) {
+	all := Benchmarks()
+	if len(all) != 22 {
+		t.Fatalf("%d benchmarks, want 22", len(all))
+	}
+	if _, err := BenchmarkByName("stereo"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeQueueMachineEndToEnd(t *testing.T) {
+	b, err := BenchmarkByName("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewQueueMachine(b, 1, PaperQueueSizes(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunQueue(m, FixedPolicy{Config: 3}, 10, 1000, true)
+	if res.TPI <= 0 || len(res.Samples) != 10 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestFacadeCacheMachineEndToEnd(t *testing.T) {
+	b, err := BenchmarkByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCacheMachine(b, 1, PaperCacheParams(), 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunCache(m, ProcessLevelPolicy{Best: 6}, 5, 4000, false)
+	if res.TPI <= 0 || res.TPIMiss < 0 || res.Refs != 20000 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 14 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	cfg := DefaultExperimentConfig()
+	res, err := RunExperiment("fig1a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "fig1a") {
+		t.Error("render missing id")
+	}
+	if _, err := RunExperiment("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIntervalPolicyThroughFacade(t *testing.T) {
+	b, err := BenchmarkByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewQueueMachine(b, 1, []int{16, 64}, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &IntervalPolicy{Configs: []int{0, 1}}
+	res := RunQueue(m, p, 100, 2000, false)
+	if res.TPI <= 0 {
+		t.Error("no TPI")
+	}
+}

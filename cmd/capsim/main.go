@@ -1,0 +1,71 @@
+// Command capsim regenerates the tables and figures of the CAP paper
+// (Albonesi, "Dynamic IPC/Clock Rate Optimization", ISCA 1998).
+//
+// Usage:
+//
+//	capsim -list
+//	capsim -experiment fig9
+//	capsim -experiment all -cache-refs 2000000 -queue-instrs 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"capsim/internal/experiments"
+	"capsim/internal/tech"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		experiment  = flag.String("experiment", "", "experiment id to run, or 'all'")
+		seed        = flag.Uint64("seed", 1998, "master workload seed")
+		cacheRefs   = flag.Int64("cache-refs", 400_000, "measured references per cache configuration")
+		cacheWarm   = flag.Int64("cache-warm", 100_000, "warm-up references per cache configuration")
+		queueInstrs = flag.Int64("queue-instrs", 150_000, "measured instructions per queue configuration")
+		interval    = flag.Int64("interval", 2_000, "interval length in instructions (Section 6 studies)")
+		penalty     = flag.Int("switch-penalty", -1, "clock-switch penalty in cycles (-1 = default)")
+		feature     = flag.Float64("feature", 0.18, "feature size in microns (0.25, 0.18, 0.12)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-20s %s\n", id, title)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "capsim: -experiment required (or -list); e.g. capsim -experiment fig9")
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.CacheRefs = *cacheRefs
+	cfg.CacheWarmRefs = *cacheWarm
+	cfg.QueueInstrs = *queueInstrs
+	cfg.IntervalInstrs = *interval
+	cfg.PenaltyCycles = *penalty
+	cfg.Feature = tech.FeatureSize(*feature)
+	cfg.CacheParams.Feature = cfg.Feature
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,51 @@
+// Command wiredelay explores the repeater (wire-buffer) tradeoff behind the
+// CAP paper's Section 2: unbuffered vs optimally buffered bus delay for an
+// arbitrary line, at any feature size.
+//
+// Usage:
+//
+//	wiredelay -length 3.5 -load 2.0
+//	wiredelay -length 3.5 -load 2.0 -feature 0.12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capsim/internal/tech"
+	"capsim/internal/wire"
+)
+
+func main() {
+	var (
+		length  = flag.Float64("length", 2.0, "wire length in mm")
+		load    = flag.Float64("load", 1.0, "distributed element load in pF")
+		feature = flag.Float64("feature", 0, "feature size in microns (0 = all paper generations)")
+	)
+	flag.Parse()
+
+	if *length <= 0 || *load < 0 {
+		fmt.Fprintln(os.Stderr, "wiredelay: length must be positive and load non-negative")
+		os.Exit(2)
+	}
+	l := wire.Line{LengthMM: *length, LoadC: *load}
+
+	features := tech.Generations()
+	if *feature > 0 {
+		features = []tech.FeatureSize{tech.FeatureSize(*feature)}
+	}
+	fmt.Printf("line: %.2f mm, %.2f pF element load\n", *length, *load)
+	for _, f := range features {
+		p := tech.ForFeature(f)
+		u := wire.UnbufferedDelay(l, p)
+		b, k := wire.OptimalBufferedDelay(l, p)
+		h := wire.OptimalRepeaterSize(l, p)
+		best := "unbuffered"
+		if b < u {
+			best = "buffered"
+		}
+		fmt.Printf("%s: unbuffered %.3f ns | buffered %.3f ns (%d repeaters, %.1fx sizing) -> %s\n",
+			f, u, b, k, h, best)
+	}
+}

@@ -1,0 +1,80 @@
+// power-modes demonstrates the CAP's power-management side (paper Section
+// 4.1): the controllable clock and structure sizes provide several
+// performance/power design points in one chip. The lowest-power mode sets
+// every adaptive structure to its minimum size and selects the slowest
+// clock — the mode the paper suggests for running from an uninterruptible
+// power supply — and the same silicon can ship anywhere from a high-end
+// server to a low-power laptop configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capsim"
+)
+
+func main() {
+	p := capsim.PaperCacheParams()
+	b, err := capsim.BenchmarkByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile the boundaries once to find the performance mode.
+	var pts []point
+	for k := 1; k <= 8; k++ {
+		m, err := capsim.NewCacheMachine(b, 1, p, k, -1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.RunInterval(200_000)
+		pts = append(pts, point{k, m.TotalTPI(), m.Timing(k).CycleNS})
+	}
+	best := pts[0]
+	for _, pt := range pts {
+		if pt.tpi < best.tpi {
+			best = pt
+		}
+	}
+	slowest := pts[len(pts)-1].cycleNS
+
+	fmt.Println("gcc on the adaptive 128KB Dcache hierarchy:")
+	fmt.Println()
+	modes := []struct {
+		name    string
+		k       int
+		cycleNS float64
+	}{
+		{"server (performance)", best.k, best.cycleNS},
+		{"laptop (balanced)", 1, pts[0].cycleNS},
+		{"UPS   (lowest power)", 1, slowest},
+	}
+	for _, mode := range modes {
+		// CPI is set by the structure configuration; the clock may be
+		// deliberately slower than the structure requires.
+		cpi := pts[mode.k-1].tpi / pts[mode.k-1].cycleNS
+		tpi := cpi * mode.cycleNS
+		activeFrac := float64(mode.k) / 8
+		// Dynamic power proxy: switched capacitance (active fraction)
+		// times frequency. Energy per instruction: power x TPI.
+		power := activeFrac / mode.cycleNS
+		energy := activeFrac * cpi
+		fmt.Printf("  %-22s L1=%dKB @ %.3f ns: TPI %.4f ns, rel. power %.2f, rel. energy/instr %.2f\n",
+			mode.name, p.L1Bytes(mode.k)/1024, mode.cycleNS, tpi,
+			power/(1.0/pts[best.k-1].cycleNS), energy/(float64(best.k)/8*cpiOf(pts, best.k)))
+	}
+	fmt.Println()
+	fmt.Println("One implementation, several product configurations (paper Section 4.1).")
+}
+
+// point is one profiled boundary configuration.
+type point struct {
+	k       int
+	tpi     float64
+	cycleNS float64
+}
+
+func cpiOf(pts []point, k int) float64 {
+	return pts[k-1].tpi / pts[k-1].cycleNS
+}

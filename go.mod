@@ -1,0 +1,3 @@
+module capsim
+
+go 1.22

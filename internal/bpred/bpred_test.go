@@ -1,0 +1,162 @@
+package bpred
+
+import (
+	"testing"
+
+	"capsim/internal/tech"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	bad := DefaultParams()
+	bad.MaxEntries = 3000
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two max accepted")
+	}
+	bad = DefaultParams()
+	bad.MinEntries = bad.MaxEntries * 2
+	if err := bad.Validate(); err == nil {
+		t.Error("min > max accepted")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	p := DefaultParams()
+	sizes := p.Sizes()
+	if len(sizes) != 5 { // 1K, 2K, 4K, 8K, 16K
+		t.Fatalf("sizes %v", sizes)
+	}
+	if sizes[0] != 1024 || sizes[4] != 16*1024 {
+		t.Errorf("sizes %v", sizes)
+	}
+}
+
+func TestPredictLearnsBias(t *testing.T) {
+	pr := MustNew(DefaultParams(), 1024)
+	// An always-taken branch must converge to ~0 mispredictions.
+	for i := 0; i < 100; i++ {
+		pr.Predict(0x1000, true)
+	}
+	pr.ResetStats()
+	for i := 0; i < 1000; i++ {
+		pr.Predict(0x1000, true)
+	}
+	if r := pr.Stats().MispredictRate(); r > 0.01 {
+		t.Errorf("always-taken mispredict rate %v", r)
+	}
+}
+
+func TestPredictLearnsLoopPattern(t *testing.T) {
+	// A loop branch (T T T N repeating) with gshare history should be
+	// predicted well once warmed, far better than the 25% a bias-only
+	// predictor would manage on the not-taken arm.
+	pr := MustNew(DefaultParams(), 4096)
+	seq := func(i int) bool { return i%4 != 3 }
+	for i := 0; i < 4000; i++ {
+		pr.Predict(0x2000, seq(i))
+	}
+	pr.ResetStats()
+	for i := 4000; i < 12000; i++ {
+		pr.Predict(0x2000, seq(i))
+	}
+	if r := pr.Stats().MispredictRate(); r > 0.10 {
+		t.Errorf("loop-pattern mispredict rate %v, want < 0.10", r)
+	}
+}
+
+func TestLargerTableReducesAliasing(t *testing.T) {
+	// Many static branches alias in a small table; accuracy must improve
+	// monotonically (within noise) with active size.
+	p := DefaultParams()
+	rate := func(active int) float64 {
+		pr := MustNew(p, active)
+		g := NewBranchGen(7, 1200, 0.3)
+		for i := 0; i < 100000; i++ { // warm
+			pc, taken := g.Next()
+			pr.Predict(pc, taken)
+		}
+		pr.ResetStats()
+		for i := 0; i < 120000; i++ {
+			pc, taken := g.Next()
+			pr.Predict(pc, taken)
+		}
+		return pr.Stats().MispredictRate()
+	}
+	small, large := rate(1024), rate(16*1024)
+	if large >= small {
+		t.Errorf("16K-entry rate %v not better than 1K-entry %v", large, small)
+	}
+}
+
+func TestResizePreservesState(t *testing.T) {
+	pr := MustNew(DefaultParams(), 16*1024)
+	for i := 0; i < 200; i++ {
+		pr.Predict(0x3000, true)
+	}
+	if err := pr.Resize(1024); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Active() != 1024 {
+		t.Errorf("active %d", pr.Active())
+	}
+	if err := pr.Resize(3000); err == nil {
+		t.Error("non-power-of-two resize accepted")
+	}
+	if err := pr.Resize(512); err == nil {
+		t.Error("below-min resize accepted")
+	}
+}
+
+func TestLookupDelayGrowsWithSize(t *testing.T) {
+	tp := tech.ForFeature(tech.Micron018)
+	prev := 0.0
+	for _, n := range DefaultParams().Sizes() {
+		d := LookupDelay(n, tp)
+		if d <= prev {
+			t.Errorf("%d entries: delay %v not greater than %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestEvaluateTradeoff(t *testing.T) {
+	// With heavy aliasing, some larger-than-minimum table should win the
+	// per-branch time despite its slower lookup.
+	p := DefaultParams()
+	timeFor := func(active int) float64 {
+		pr := MustNew(p, active)
+		g := NewBranchGen(9, 1200, 0.3)
+		for i := 0; i < 100000; i++ {
+			pc, taken := g.Next()
+			pr.Predict(pc, taken)
+		}
+		pr.ResetStats()
+		for i := 0; i < 120000; i++ {
+			pc, taken := g.Next()
+			pr.Predict(pc, taken)
+		}
+		return Evaluate(p, active, pr.Stats())
+	}
+	if timeFor(4096) >= timeFor(1024) {
+		// The exact winner depends on calibration; the essential
+		// property is that size CAN pay for itself under aliasing.
+		t.Log("4K table did not beat 1K on this stream (acceptable, checking 16K)")
+		if timeFor(16*1024) >= timeFor(1024) {
+			t.Error("no larger table ever pays for itself under heavy aliasing")
+		}
+	}
+}
+
+func TestBranchGenDeterminism(t *testing.T) {
+	g1 := NewBranchGen(3, 100, 0.5)
+	g2 := NewBranchGen(3, 100, 0.5)
+	for i := 0; i < 1000; i++ {
+		pc1, t1 := g1.Next()
+		pc2, t2 := g2.Next()
+		if pc1 != pc2 || t1 != t2 {
+			t.Fatalf("generators diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package clock models the CAP's dynamic clocking system (paper Sections 4
+// and 4.2): a set of predetermined clock sources — one per worst-case timing
+// analysis of each combination of adaptive-structure configurations — behind
+// a clock hold-and-multiplex scheme. Reliably stopping one clock and
+// starting another costs tens of cycles (the paper's estimate), which this
+// package accounts for.
+package clock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Source is one selectable processor clock.
+type Source struct {
+	// ID identifies the source; it conventionally equals the adaptive
+	// structure's configuration index that requires it.
+	ID int
+	// PeriodNS is the clock period in nanoseconds.
+	PeriodNS float64
+	// Label names the configuration ("16KB 4-way L1", "64-entry IQ").
+	Label string
+}
+
+// DefaultSwitchPenaltyCycles is the paper's "tens of cycles" estimate for
+// pausing the active clock and reliably enabling the new one.
+const DefaultSwitchPenaltyCycles = 20
+
+// System is the dynamic clock: a source table plus the currently selected
+// source and switch accounting.
+type System struct {
+	sources map[int]Source
+	active  int
+	penalty int
+
+	switches    int64
+	cycles      int64   // cycles accumulated via Advance
+	timeNS      float64 // wall-clock time accumulated via Advance
+	penaltyNS   float64 // portion of timeNS spent in switch penalties
+	penaltyCycl int64
+}
+
+// NewSystem builds a dynamic clock from the given sources, initially running
+// on initial. penaltyCycles < 0 selects the default penalty.
+func NewSystem(sources []Source, initial int, penaltyCycles int) (*System, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("clock: no sources")
+	}
+	if penaltyCycles < 0 {
+		penaltyCycles = DefaultSwitchPenaltyCycles
+	}
+	m := make(map[int]Source, len(sources))
+	for _, s := range sources {
+		if s.PeriodNS <= 0 {
+			return nil, fmt.Errorf("clock: source %d has period %v", s.ID, s.PeriodNS)
+		}
+		if _, dup := m[s.ID]; dup {
+			return nil, fmt.Errorf("clock: duplicate source id %d", s.ID)
+		}
+		m[s.ID] = s
+	}
+	if _, ok := m[initial]; !ok {
+		return nil, fmt.Errorf("clock: initial source %d not in table", initial)
+	}
+	return &System{sources: m, active: initial, penalty: penaltyCycles}, nil
+}
+
+// MustNewSystem is NewSystem but panics on error.
+func MustNewSystem(sources []Source, initial int, penaltyCycles int) *System {
+	s, err := NewSystem(sources, initial, penaltyCycles)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Active returns the currently selected source.
+func (s *System) Active() Source { return s.sources[s.active] }
+
+// Sources returns the source table sorted by ID.
+func (s *System) Sources() []Source {
+	out := make([]Source, 0, len(s.sources))
+	for _, src := range s.sources {
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PenaltyCycles returns the per-switch penalty in cycles.
+func (s *System) PenaltyCycles() int { return s.penalty }
+
+// Select switches to the source with the given ID, charging the switch
+// penalty (at the OLD clock's period: the old clock must be reliably stopped
+// before the new one starts). Selecting the active source is free. It
+// returns the penalty charged in nanoseconds.
+func (s *System) Select(id int) (float64, error) {
+	if _, ok := s.sources[id]; !ok {
+		return 0, fmt.Errorf("clock: unknown source %d", id)
+	}
+	if id == s.active {
+		return 0, nil
+	}
+	pen := float64(s.penalty) * s.sources[s.active].PeriodNS
+	s.active = id
+	s.switches++
+	s.cycles += int64(s.penalty)
+	s.penaltyCycl += int64(s.penalty)
+	s.timeNS += pen
+	s.penaltyNS += pen
+	return pen, nil
+}
+
+// Advance accounts for n cycles of execution at the active clock and returns
+// the elapsed nanoseconds.
+func (s *System) Advance(n int64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	dt := float64(n) * s.sources[s.active].PeriodNS
+	s.cycles += n
+	s.timeNS += dt
+	return dt
+}
+
+// Switches returns how many clock switches have occurred.
+func (s *System) Switches() int64 { return s.switches }
+
+// TimeNS returns total accumulated time.
+func (s *System) TimeNS() float64 { return s.timeNS }
+
+// PenaltyNS returns the accumulated switch-penalty time.
+func (s *System) PenaltyNS() float64 { return s.penaltyNS }
+
+// Cycles returns total accumulated cycles (including penalty cycles).
+func (s *System) Cycles() int64 { return s.cycles }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"capsim/internal/cache"
+	"capsim/internal/tech"
+	"capsim/internal/workload"
+)
+
+func combined(t *testing.T, app string, cc CombinedConfig) *CombinedMachine {
+	t.Helper()
+	b := workload.MustByName(app)
+	m, err := NewCombinedMachine(b, 42, []int{16, 64, 128}, cache.PaperParams(),
+		PaperMaxBoundary, cc, -1, tech.Micron018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCombinedConfigSpace(t *testing.T) {
+	m := combined(t, "gcc", CombinedConfig{QueueEntries: 64, Boundary: 2})
+	cfgs := m.Configs()
+	if len(cfgs) != 3*PaperMaxBoundary {
+		t.Fatalf("%d configs, want %d", len(cfgs), 3*PaperMaxBoundary)
+	}
+	if m.Name() != "cap-processor" {
+		t.Errorf("name %q", m.Name())
+	}
+	cc, err := m.Decode(m.Current().ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.QueueEntries != 64 || cc.Boundary != 2 {
+		t.Errorf("decoded %+v", cc)
+	}
+	if _, err := m.Decode(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestCombinedClockIsWorstCase(t *testing.T) {
+	// With a large L1 and a small queue, the cache sets the cycle; with a
+	// huge queue and a small L1, the queue does. Either way the joint
+	// cycle is >= each structure's own requirement.
+	m := combined(t, "gcc", CombinedConfig{QueueEntries: 16, Boundary: 8})
+	cacheCyc := cache.TimingFor(cache.PaperParams(), 8).CycleNS
+	if m.Current().CycleNS < cacheCyc {
+		t.Errorf("joint cycle %v below cache requirement %v", m.Current().CycleNS, cacheCyc)
+	}
+	m2 := combined(t, "gcc", CombinedConfig{QueueEntries: 128, Boundary: 1})
+	if m2.Current().CycleNS <= cache.TimingFor(cache.PaperParams(), 1).CycleNS {
+		t.Errorf("128-entry queue should dominate the small-L1 cycle")
+	}
+}
+
+func TestCombinedRunCouplesCache(t *testing.T) {
+	// The same application must run slower (lower IPC) with a tiny L1
+	// than with one that fits its working set, at the SAME queue size —
+	// proof that loads actually traverse the hierarchy.
+	small := combined(t, "stereo", CombinedConfig{QueueEntries: 64, Boundary: 1})
+	large := combined(t, "stereo", CombinedConfig{QueueEntries: 64, Boundary: 6})
+	sSmall := small.RunInterval(40000)
+	sLarge := large.RunInterval(40000)
+	if sSmall.IPC >= sLarge.IPC {
+		t.Errorf("stereo IPC with 8KB L1 (%v) not below 48KB L1 (%v)", sSmall.IPC, sLarge.IPC)
+	}
+	if small.Hierarchy().Stats().Refs == 0 {
+		t.Error("no cache references recorded")
+	}
+	if err := small.Hierarchy().CheckExclusive(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinedSetConfig(t *testing.T) {
+	m := combined(t, "gcc", CombinedConfig{QueueEntries: 128, Boundary: 2})
+	m.RunInterval(5000)
+	id, err := m.configID(CombinedConfig{QueueEntries: 16, Boundary: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall, err := m.SetConfig(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall <= 0 {
+		t.Error("queue shrink + clock switch reported no stall")
+	}
+	cc, _ := m.Decode(m.Current().ID)
+	if cc.QueueEntries != 16 || cc.Boundary != 6 {
+		t.Errorf("post-reconfig %+v", cc)
+	}
+	if m.Hierarchy().Boundary() != 6 {
+		t.Errorf("hierarchy boundary %d", m.Hierarchy().Boundary())
+	}
+	if _, err := m.SetConfig(999); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestCombinedRejectsGo(t *testing.T) {
+	b := workload.MustByName("go")
+	_, err := NewCombinedMachine(b, 1, []int{16}, cache.PaperParams(), PaperMaxBoundary,
+		CombinedConfig{QueueEntries: 16, Boundary: 1}, -1, tech.Micron018)
+	if err == nil {
+		t.Error("go (no memory profile) accepted")
+	}
+}
+
+func TestRunCombinedWithPolicy(t *testing.T) {
+	m := combined(t, "swim", CombinedConfig{QueueEntries: 16, Boundary: 1})
+	target, err := m.configID(CombinedConfig{QueueEntries: 64, Boundary: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunCombined(m, ProcessLevelPolicy{Best: target}, 10, 2000, true)
+	if res.Switches != 1 {
+		t.Errorf("switches %d", res.Switches)
+	}
+	for _, s := range res.Samples {
+		if s.Config != target {
+			t.Fatalf("interval ran on %d", s.Config)
+		}
+	}
+	if res.TPI <= 0 {
+		t.Error("no TPI")
+	}
+}
+
+func TestRunWithLoadsRate(t *testing.T) {
+	// The deterministic thinning must call memLat at the profile rate.
+	b := workload.MustByName("gcc")
+	m, err := NewCombinedMachine(b, 42, []int{64}, cache.PaperParams(), PaperMaxBoundary,
+		CombinedConfig{QueueEntries: 64, Boundary: 2}, -1, tech.Micron018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunInterval(50000)
+	refs := float64(m.Hierarchy().Stats().Refs)
+	instrs := float64(m.Instrs())
+	got := refs / instrs
+	if got < b.Mem.RefsPerInstr*0.95 || got > b.Mem.RefsPerInstr*1.05 {
+		t.Errorf("refs/instr %v, want ~%v", got, b.Mem.RefsPerInstr)
+	}
+}

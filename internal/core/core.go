@@ -1,0 +1,143 @@
+// Package core implements the paper's primary contribution: the
+// Complexity-Adaptive Processor (CAP) control plane.
+//
+// A CAP intermixes fixed hardware structures with complexity-adaptive
+// structures (CASes) whose size — and therefore whose worst-case timing —
+// can be changed at runtime, together with a dynamic clock that lets every
+// configuration run at its full clock-rate potential (paper Section 4). The
+// pieces modeled here:
+//
+//   - AdaptiveStructure: the CAS abstraction — an enumerable set of
+//     configurations, each with its own cycle time, plus the reconfiguration
+//     ("cleanup") mechanics;
+//   - Monitor: the on-chip performance-monitoring hardware, which measures
+//     TPI (time per instruction = cycle time / IPC, the paper's metric) over
+//     fixed instruction intervals;
+//   - Policy: the configuration-management heuristic. The paper evaluates a
+//     simple process-level scheme (one configuration per application,
+//     selected by a profiling compiler/runtime and reloaded on context
+//     switches); Section 6 sketches a hardware interval predictor with
+//     confidence, implemented here as IntervalPolicy;
+//   - Manager: glue that runs a workload on a CAS under a policy, charging
+//     reconfiguration and clock-switch overheads.
+//
+// Two concrete CASes are provided in this package's siblings and adapted
+// here: the complexity-adaptive two-level data-cache hierarchy
+// (CacheMachine) and the complexity-adaptive instruction queue
+// (QueueMachine).
+package core
+
+import "fmt"
+
+// Config is one selectable configuration of an adaptive structure.
+type Config struct {
+	// ID indexes the configuration within its structure.
+	ID int
+	// Label is human-readable ("L1=16KB 4-way", "IQ=64").
+	Label string
+	// CycleNS is the processor cycle time this configuration imposes
+	// (worst-case timing analysis of the structure at this size).
+	CycleNS float64
+}
+
+// AdaptiveStructure is a CAS: hardware whose complexity can be changed at
+// runtime among a predetermined set of configurations.
+type AdaptiveStructure interface {
+	// Name identifies the structure ("dcache-hierarchy", "int-queue").
+	Name() string
+	// Configs enumerates the available configurations, ordered by
+	// increasing size.
+	Configs() []Config
+	// Current returns the active configuration.
+	Current() Config
+	// SetConfig reconfigures the structure, performing any cleanup the
+	// transition requires (e.g. draining queue entries about to be
+	// disabled), and returns the number of stall cycles the cleanup cost.
+	SetConfig(id int) (stallCycles int64, err error)
+}
+
+// Sample is one interval measurement from the monitoring hardware.
+type Sample struct {
+	// Interval is the interval's ordinal number.
+	Interval int64
+	// Config is the configuration the interval ran under.
+	Config int
+	// TPI is the measured time per instruction in ns.
+	TPI float64
+	// IPC is the measured instructions per cycle.
+	IPC float64
+}
+
+// Monitor is the performance-monitoring state a Policy may consult: the
+// recent samples (most recent last) and the active configuration.
+type Monitor struct {
+	// Window holds the most recent samples, oldest first.
+	Window []Sample
+	// Current is the active configuration ID.
+	Current int
+	maxLen  int
+}
+
+// NewMonitor creates a monitor retaining up to n samples.
+func NewMonitor(n int) *Monitor {
+	if n < 1 {
+		n = 1
+	}
+	return &Monitor{maxLen: n}
+}
+
+// Record appends a sample, evicting the oldest beyond the retention window.
+func (m *Monitor) Record(s Sample) {
+	m.Window = append(m.Window, s)
+	if len(m.Window) > m.maxLen {
+		copy(m.Window, m.Window[1:])
+		m.Window = m.Window[:m.maxLen]
+	}
+	m.Current = s.Config
+}
+
+// Last returns the most recent sample and whether one exists.
+func (m *Monitor) Last() (Sample, bool) {
+	if len(m.Window) == 0 {
+		return Sample{}, false
+	}
+	return m.Window[len(m.Window)-1], true
+}
+
+// LastFor returns the most recent sample taken under the given
+// configuration, and whether one exists.
+func (m *Monitor) LastFor(config int) (Sample, bool) {
+	for i := len(m.Window) - 1; i >= 0; i-- {
+		if m.Window[i].Config == config {
+			return m.Window[i], true
+		}
+	}
+	return Sample{}, false
+}
+
+// Policy is a configuration-management heuristic: after each interval it
+// chooses the configuration for the next interval.
+type Policy interface {
+	// Name identifies the policy for reporting.
+	Name() string
+	// Next returns the configuration to run the next interval under.
+	Next(m *Monitor) int
+}
+
+// validateConfigs checks a configuration table for use by the machines.
+func validateConfigs(configs []Config) error {
+	if len(configs) == 0 {
+		return fmt.Errorf("core: empty configuration table")
+	}
+	seen := make(map[int]bool, len(configs))
+	for _, c := range configs {
+		if c.CycleNS <= 0 {
+			return fmt.Errorf("core: config %d (%s) has cycle %v", c.ID, c.Label, c.CycleNS)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("core: duplicate config id %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	return nil
+}

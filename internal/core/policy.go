@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedPolicy never reconfigures: it models a conventional processor whose
+// complexity was frozen at design time (the paper's baselines).
+type FixedPolicy struct {
+	Config int
+}
+
+// Name implements Policy.
+func (p FixedPolicy) Name() string { return fmt.Sprintf("fixed(%d)", p.Config) }
+
+// Next implements Policy.
+func (p FixedPolicy) Next(*Monitor) int { return p.Config }
+
+// ProcessLevelPolicy is the paper's evaluation model (Section 5.1): the
+// configuration is fixed for the duration of an application, chosen as the
+// best overall configuration for that application by a CAP compiler or
+// runtime environment (modeled as an oracle profiling pass), and the
+// configuration registers are reloaded by the operating system on context
+// switches. Within a run it behaves like FixedPolicy; the per-application
+// choice is made by SelectBest.
+type ProcessLevelPolicy struct {
+	// Best is the profiled best configuration for the running application.
+	Best int
+}
+
+// Name implements Policy.
+func (p ProcessLevelPolicy) Name() string { return fmt.Sprintf("process-level(%d)", p.Best) }
+
+// Next implements Policy.
+func (p ProcessLevelPolicy) Next(*Monitor) int { return p.Best }
+
+// SelectBest returns the configuration ID with the smallest TPI from a
+// profiling table, breaking ties toward the smaller (faster-clock)
+// configuration. It panics on an empty table.
+func SelectBest(tpiByConfig map[int]float64) int {
+	if len(tpiByConfig) == 0 {
+		panic("core: SelectBest on empty table")
+	}
+	best, bestTPI := math.MaxInt, math.Inf(1)
+	for id, tpi := range tpiByConfig {
+		if tpi < bestTPI || (tpi == bestTPI && id < best) {
+			best, bestTPI = id, tpi
+		}
+	}
+	return best
+}
+
+// IntervalPolicy is the Section 6 extension: a hardware predictor that reads
+// the performance-monitoring hardware every interval, predicts the
+// best-performing configuration for the next interval, and switches when
+// confident. The design follows the paper's two observations:
+//
+//   - long stable phases and regular alternation patterns are exploitable
+//     with simple last-value prediction over per-configuration TPI
+//     estimates;
+//   - irregular regions (Figure 13(b)) must not cause reconfiguration
+//     thrash, so predictions carry a saturating confidence counter and a
+//     minimum-gain threshold, "as with value prediction ... a confidence
+//     level ... to avoid needless reconfiguration overhead".
+//
+// The predictor maintains an exponentially weighted TPI estimate per
+// configuration, refreshed by occasional exploration visits, and moves only
+// when the estimated gain exceeds MinGain for ConfidenceMax consecutive
+// intervals.
+type IntervalPolicy struct {
+	// Configs are the candidate configuration IDs.
+	Configs []int
+	// MinGain is the fractional TPI improvement required to switch
+	// (default 0.03).
+	MinGain float64
+	// ConfidenceMax is the saturating-counter threshold (default 2).
+	ConfidenceMax int
+	// ExplorePeriod is how many intervals between exploration visits to a
+	// stale configuration (default 32). Exploration is what keeps the
+	// per-configuration estimates fresh without continuous sampling.
+	ExplorePeriod int64
+	// Alpha is the EWMA weight of a new sample (default 0.5).
+	Alpha float64
+
+	est        map[int]float64
+	seen       map[int]bool
+	confidence int
+	candidate  int
+	intervals  int64
+	exploreIdx int
+	exploring  bool
+	current    int
+	inited     bool
+}
+
+// Name implements Policy.
+func (p *IntervalPolicy) Name() string { return "interval-adaptive" }
+
+func (p *IntervalPolicy) defaults() {
+	if p.MinGain == 0 {
+		p.MinGain = 0.03
+	}
+	if p.ConfidenceMax == 0 {
+		p.ConfidenceMax = 2
+	}
+	if p.ExplorePeriod == 0 {
+		p.ExplorePeriod = 32
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 0.5
+	}
+	if p.est == nil {
+		p.est = make(map[int]float64, len(p.Configs))
+		p.seen = make(map[int]bool, len(p.Configs))
+	}
+}
+
+// Next implements Policy.
+func (p *IntervalPolicy) Next(m *Monitor) int {
+	p.defaults()
+	if len(p.Configs) == 0 {
+		return m.Current
+	}
+	if !p.inited {
+		p.inited = true
+		p.current = m.Current
+	}
+	last, ok := m.Last()
+	if ok {
+		if old, have := p.est[last.Config]; have {
+			p.est[last.Config] = old*(1-p.Alpha) + last.TPI*p.Alpha
+		} else {
+			p.est[last.Config] = last.TPI
+		}
+		p.seen[last.Config] = true
+	}
+	p.intervals++
+
+	// Bootstrap: visit every configuration once to fill the table.
+	for _, id := range p.Configs {
+		if !p.seen[id] {
+			p.exploring = true
+			return id
+		}
+	}
+
+	// Returning from an exploration visit: fall back to the incumbent
+	// (the visit's sample has already updated the estimates).
+	if p.exploring {
+		p.exploring = false
+		return p.current
+	}
+
+	// Periodic exploration to refresh stale estimates.
+	if p.ExplorePeriod > 0 && p.intervals%p.ExplorePeriod == 0 && len(p.Configs) > 1 {
+		p.exploreIdx = (p.exploreIdx + 1) % len(p.Configs)
+		id := p.Configs[p.exploreIdx]
+		if id != p.current {
+			p.exploring = true
+			return id
+		}
+	}
+
+	// Prediction: best estimated configuration, confidence-gated.
+	best, bestTPI := p.current, p.est[p.current]
+	for _, id := range p.Configs {
+		if e, ok := p.est[id]; ok && e < bestTPI {
+			best, bestTPI = id, e
+		}
+	}
+	cur := p.est[p.current]
+	if best != p.current && cur > 0 && (cur-bestTPI)/cur >= p.MinGain {
+		if best == p.candidate {
+			p.confidence++
+		} else {
+			p.candidate, p.confidence = best, 1
+		}
+		if p.confidence >= p.ConfidenceMax {
+			p.current = best
+			p.confidence = 0
+			p.candidate = -1
+		}
+	} else {
+		p.confidence = 0
+		p.candidate = -1
+	}
+	return p.current
+}

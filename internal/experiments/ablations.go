@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capsim/internal/cache"
+	"capsim/internal/core"
+	"capsim/internal/metrics"
+	"capsim/internal/workload"
+)
+
+func init() {
+	register("ablation-interval", "Interval-adaptive predictor vs process-level vs per-interval oracle (Section 6 extension)", ablationInterval)
+	register("ablation-switch", "Clock-switch penalty sweep for the interval predictor", ablationSwitch)
+	register("ablation-increment", "Cache increment granularity: 16x8KB 2-way vs 32x4KB direct-mapped (Section 5.2.1)", ablationIncrement)
+	register("ablation-power", "Low-power mode: minimum structures at the slowest clock (Section 4.1)", ablationPower)
+}
+
+// intervalCandidates returns the two-configuration setup Section 6 studies
+// for an application.
+func intervalCandidates(app string) (sizes []int, err error) {
+	switch app {
+	case "turb3d":
+		return []int{64, 128}, nil
+	case "vortex":
+		return []int{16, 64}, nil
+	default:
+		return nil, fmt.Errorf("experiments: no interval-study candidates for %s", app)
+	}
+}
+
+// runIntervalPolicy drives a QueueMachine restricted to the two candidate
+// sizes under the given policy and returns the aggregate result.
+func runIntervalPolicy(cfg Config, app string, sizes []int, p core.Policy, intervals int64) (core.RunResult, error) {
+	b, err := workload.ByName(app)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	m, err := core.NewQueueMachine(b, cfg.Seed, sizes, 0, cfg.PenaltyCycles, cfg.Feature)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	return core.RunQueue(m, p, intervals, cfg.IntervalInstrs, false), nil
+}
+
+// oracleTPI computes the per-interval oracle: the TPI of always running the
+// better of the two configurations each interval, ignoring switch costs — a
+// lower bound no realizable predictor can beat.
+func oracleTPI(cfg Config, app string, sizes []int, intervals int64) (float64, error) {
+	a, err := intervalTrace(cfg, app, sizes[0], intervals)
+	if err != nil {
+		return 0, err
+	}
+	b, err := intervalTrace(cfg, app, sizes[1], intervals)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range a {
+		if a[i] < b[i] {
+			sum += a[i]
+		} else {
+			sum += b[i]
+		}
+	}
+	return sum / float64(len(a)), nil
+}
+
+func ablationInterval(cfg Config) (Result, error) {
+	const intervals = 1500
+	t := metrics.Table{
+		ID:      "ablation-interval",
+		Title:   "TPI (ns) by configuration-management policy",
+		Columns: []string{"benchmark", "configs", "best fixed", "interval-adaptive", "per-interval oracle", "switches", "adaptive vs fixed"},
+	}
+	for _, app := range []string{"turb3d", "vortex"} {
+		sizes, err := intervalCandidates(app)
+		if err != nil {
+			return Result{}, err
+		}
+		// Best fixed: run both configurations to completion, keep the
+		// better (the process-level choice between the two).
+		fixedBest := 0.0
+		for i := range sizes {
+			r, err := runIntervalPolicy(cfg, app, sizes, core.FixedPolicy{Config: i}, intervals)
+			if err != nil {
+				return Result{}, err
+			}
+			if fixedBest == 0 || r.TPI < fixedBest {
+				fixedBest = r.TPI
+			}
+		}
+		adaptive, err := runIntervalPolicy(cfg, app, sizes,
+			&core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
+		if err != nil {
+			return Result{}, err
+		}
+		oracle, err := oracleTPI(cfg, app, sizes, intervals)
+		if err != nil {
+			return Result{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			app, fmt.Sprintf("%v", sizes),
+			metrics.F(fixedBest), metrics.F(adaptive.TPI), metrics.F(oracle),
+			fmt.Sprintf("%d", adaptive.Switches),
+			metrics.Pct(metrics.Reduction(fixedBest, adaptive.TPI)),
+		})
+	}
+	return Result{
+		ID: "ablation-interval", Title: t.Title, Tables: []metrics.Table{t},
+		Notes: []string{"oracle ignores reconfiguration costs; the predictor pays drain + clock-switch penalties"},
+	}, nil
+}
+
+func ablationSwitch(cfg Config) (Result, error) {
+	const intervals = 1200
+	sizes, err := intervalCandidates("vortex")
+	if err != nil {
+		return Result{}, err
+	}
+	fig := metrics.Figure{
+		ID:     "ablation-switch",
+		Title:  "vortex: interval-adaptive TPI vs clock-switch penalty",
+		XLabel: "switch penalty (cycles)",
+		YLabel: "TPI (ns)",
+	}
+	var xs, ys, sw []float64
+	for _, pen := range []int{0, 10, 20, 50, 100, 200} {
+		c := cfg
+		c.PenaltyCycles = pen
+		r, err := runIntervalPolicy(c, "vortex", sizes, &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
+		if err != nil {
+			return Result{}, err
+		}
+		xs = append(xs, float64(pen))
+		ys = append(ys, r.TPI)
+		sw = append(sw, float64(r.Switches))
+	}
+	fig.Series = []metrics.Series{
+		{Name: "adaptive TPI", X: xs, Y: ys},
+		{Name: "switches", X: xs, Y: sw},
+	}
+	return Result{
+		ID: "ablation-switch", Title: fig.Title, Figures: []metrics.Figure{fig},
+		Notes: []string{"the paper estimates tens of cycles to pause one clock and reliably start another"},
+	}, nil
+}
+
+// ablationIncrement compares the paper's chosen 8KB 2-way increment design
+// against the competing 4KB direct-mapped two-way-banked increment design it
+// mentions rejecting in Section 5.2.1.
+func ablationIncrement(cfg Config) (Result, error) {
+	alt := cache.Params{
+		Increments:     32,
+		IncrementBytes: 4 * 1024,
+		IncrementAssoc: 1,
+		BlockBytes:     cfg.CacheParams.BlockBytes,
+		Feature:        cfg.CacheParams.Feature,
+	}
+	apps := []string{"gcc", "stereo", "appcg", "swim"}
+	t := metrics.Table{
+		ID:      "ablation-increment",
+		Title:   "Adaptive TPI (ns) by increment design",
+		Columns: []string{"benchmark", "8KB 2-way x16 (paper)", "4KB 1-way x32 (alternative)", "difference"},
+	}
+	for _, app := range apps {
+		b, err := workload.ByName(app)
+		if err != nil {
+			return Result{}, err
+		}
+		best := func(p cache.Params, maxB int) (float64, error) {
+			tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, p, maxB, cfg.CacheWarmRefs, cfg.CacheRefs)
+			if err != nil {
+				return 0, err
+			}
+			return tpi[core.SelectBest(tpi)], nil
+		}
+		paper, err := best(cfg.CacheParams, core.PaperMaxBoundary)
+		if err != nil {
+			return Result{}, err
+		}
+		// Same 64 KB maximum L1: 16 increments of 4 KB.
+		altTPI, err := best(alt, 16)
+		if err != nil {
+			return Result{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			app, metrics.F(paper), metrics.F(altTPI),
+			metrics.Pct(metrics.Reduction(altTPI, paper)),
+		})
+	}
+	return Result{
+		ID: "ablation-increment", Title: t.Title, Tables: []metrics.Table{t},
+		Notes: []string{"the paper chose 8KB 2-way increments as the better granularity/delay tradeoff"},
+	}, nil
+}
+
+// ablationPower evaluates the Section 4.1 low-power mode: all adaptive
+// structures at minimum size on the slowest clock. The energy proxy per
+// instruction is active-capacity-fraction x CPI (switched capacitance scales
+// with enabled structure, energy with cycles spent).
+func ablationPower(cfg Config) (Result, error) {
+	apps := []string{"gcc", "swim", "stereo"}
+	t := metrics.Table{
+		ID:      "ablation-power",
+		Title:   "Low-power mode vs performance mode (cache hierarchy)",
+		Columns: []string{"benchmark", "mode", "boundary", "TPI (ns)", "active L1 fraction", "energy proxy/instr"},
+	}
+	for _, app := range apps {
+		b, err := workload.ByName(app)
+		if err != nil {
+			return Result{}, err
+		}
+		tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, cfg.CacheParams, core.PaperMaxBoundary, cfg.CacheWarmRefs, cfg.CacheRefs)
+		if err != nil {
+			return Result{}, err
+		}
+		bestK := core.SelectBest(tpi)
+		// Performance mode: the process-level best boundary at its own
+		// (full-rate) clock. Low-power mode: minimum structure (least
+		// switched capacitance) deliberately run on the SLOWEST clock in
+		// the source table (paper Section 4.1) — CPI is that of k=1 but
+		// every cycle is stretched to the k=max period.
+		perf := cache.TimingFor(cfg.CacheParams, bestK)
+		perfCPI := tpi[bestK] / perf.CycleNS
+		perfFrac := float64(bestK) / float64(core.PaperMaxBoundary)
+		t.Rows = append(t.Rows, []string{
+			app, "performance", fmt.Sprintf("k=%d", bestK),
+			metrics.F(tpi[bestK]), fmt.Sprintf("%.2f", perfFrac), metrics.F(perfFrac * perfCPI),
+		})
+		slow := cache.TimingFor(cfg.CacheParams, core.PaperMaxBoundary)
+		lpCPI := tpi[1] / cache.TimingFor(cfg.CacheParams, 1).CycleNS
+		lpFrac := 1.0 / float64(core.PaperMaxBoundary)
+		t.Rows = append(t.Rows, []string{
+			app, "low-power", "k=1 @ slow clk",
+			metrics.F(lpCPI * slow.CycleNS), fmt.Sprintf("%.2f", lpFrac), metrics.F(lpFrac * lpCPI),
+		})
+	}
+	return Result{
+		ID: "ablation-power", Title: t.Title, Tables: []metrics.Table{t},
+		Notes: []string{
+			"low-power mode: minimum structure + slowest clock (paper Section 4.1); proxy = active fraction x CPI",
+			"running slower additionally permits voltage scaling, which the proxy does not credit",
+		},
+	}, nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capsim/internal/core"
+	"capsim/internal/metrics"
+	"capsim/internal/workload"
+)
+
+func init() {
+	register("ablation-combined", "Joint cache+queue CAP: per-structure vs joint adaptation (Figure 5)", ablationCombined)
+}
+
+// combinedQueueSizes is the reduced queue set for the joint space (the full
+// cross product of 8 queue sizes x 8 boundaries is needlessly fine for the
+// study; the paper itself notes per-structure configuration counts shrink
+// when structures are combined, "the number of configurations for a given
+// structure might be limited due to larger delays in other structures").
+func combinedQueueSizes() []int { return []int{16, 64, 128} }
+
+// combinedBoundaries is the reduced boundary set for the joint space.
+func combinedBoundaries() []int { return []int{1, 2, 6, 8} }
+
+// ablationCombined evaluates the full Figure 5 processor: both adaptive
+// structures under one configuration manager, with the clock set by the
+// worst case of the enabled configurations. It compares three management
+// strategies per application:
+//
+//   - conventional: the workload-wide best fixed joint configuration;
+//   - per-structure: each structure picks its own best as if alone (the
+//     naive composition of the paper's two experiments), then the joint
+//     clock is applied — cross-structure coupling can void the choice;
+//   - joint oracle: the best configuration of the joint space.
+func ablationCombined(cfg Config) (Result, error) {
+	apps := []string{"gcc", "stereo", "appcg", "compress", "swim"}
+	qs := combinedQueueSizes()
+	bs := combinedBoundaries()
+
+	type profiled struct {
+		name  string
+		tpi   map[core.CombinedConfig]float64
+		joint core.CombinedConfig
+	}
+	intervals := cfg.QueueInstrs / cfg.IntervalInstrs
+	if intervals < 10 {
+		intervals = 10
+	}
+	run := func(app string, cc core.CombinedConfig) (float64, error) {
+		b, err := workload.ByName(app)
+		if err != nil {
+			return 0, err
+		}
+		m, err := core.NewCombinedMachine(b, cfg.Seed, qs, cfg.CacheParams, core.PaperMaxBoundary, cc, cfg.PenaltyCycles, cfg.Feature)
+		if err != nil {
+			return 0, err
+		}
+		for i := int64(0); i < intervals; i++ {
+			m.RunInterval(cfg.IntervalInstrs)
+		}
+		return m.TotalTPI(), nil
+	}
+
+	var profiles []profiled
+	for _, app := range apps {
+		p := profiled{name: app, tpi: map[core.CombinedConfig]float64{}}
+		first := true
+		for _, k := range bs {
+			for _, w := range qs {
+				cc := core.CombinedConfig{QueueEntries: w, Boundary: k}
+				v, err := run(app, cc)
+				if err != nil {
+					return Result{}, err
+				}
+				p.tpi[cc] = v
+				if first || v < p.tpi[p.joint] {
+					p.joint, first = cc, false
+				}
+			}
+		}
+		profiles = append(profiles, p)
+	}
+
+	// Conventional: the single joint configuration with the smallest
+	// workload-mean TPI.
+	var conv core.CombinedConfig
+	bestMean := 0.0
+	for _, k := range bs {
+		for _, w := range qs {
+			cc := core.CombinedConfig{QueueEntries: w, Boundary: k}
+			var sum float64
+			for _, p := range profiles {
+				sum += p.tpi[cc]
+			}
+			if bestMean == 0 || sum < bestMean {
+				conv, bestMean = cc, sum
+			}
+		}
+	}
+
+	t := metrics.Table{
+		ID:    "ablation-combined",
+		Title: "Joint CAP TPI (ns): conventional vs per-structure vs joint adaptation",
+		Columns: []string{"benchmark", "conventional", "per-structure", "joint adaptive",
+			"joint config", "joint vs conventional"},
+	}
+	var convSum, perSum, jointSum float64
+	for _, p := range profiles {
+		// Per-structure: best queue at the conventional boundary, best
+		// boundary at the conventional queue — composed independently.
+		bestQ := conv.QueueEntries
+		for _, w := range qs {
+			if p.tpi[core.CombinedConfig{QueueEntries: w, Boundary: conv.Boundary}] <
+				p.tpi[core.CombinedConfig{QueueEntries: bestQ, Boundary: conv.Boundary}] {
+				bestQ = w
+			}
+		}
+		bestK := conv.Boundary
+		for _, k := range bs {
+			if p.tpi[core.CombinedConfig{QueueEntries: conv.QueueEntries, Boundary: k}] <
+				p.tpi[core.CombinedConfig{QueueEntries: conv.QueueEntries, Boundary: bestK}] {
+				bestK = k
+			}
+		}
+		per := p.tpi[core.CombinedConfig{QueueEntries: bestQ, Boundary: bestK}]
+		convV := p.tpi[conv]
+		jointV := p.tpi[p.joint]
+		convSum += convV
+		perSum += per
+		jointSum += jointV
+		t.Rows = append(t.Rows, []string{
+			p.name, metrics.F(convV), metrics.F(per), metrics.F(jointV),
+			fmt.Sprintf("IQ=%d/L1=%dKB", p.joint.QueueEntries, p.joint.Boundary*8),
+			metrics.Pct(metrics.Reduction(convV, jointV)),
+		})
+	}
+	n := float64(len(profiles))
+	t.Rows = append(t.Rows, []string{
+		"average", metrics.F(convSum / n), metrics.F(perSum / n), metrics.F(jointSum / n), "",
+		metrics.Pct(metrics.Reduction(convSum/n, jointSum/n)),
+	})
+	return Result{
+		ID: "ablation-combined", Title: t.Title, Tables: []metrics.Table{t},
+		Notes: []string{
+			fmt.Sprintf("conventional baseline: IQ=%d/L1=%dKB (workload-mean best)", conv.QueueEntries, conv.Boundary*8),
+			"the joint clock is the worst case of both structures, so per-structure choices can interact",
+		},
+	}, nil
+}

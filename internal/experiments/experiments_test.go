@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"capsim/internal/metrics"
+)
+
+// fastConfig returns a reduced-budget configuration for tests.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CacheWarmRefs = 20_000
+	cfg.CacheRefs = 80_000
+	cfg.QueueInstrs = 25_000
+	return cfg
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13",
+		"ablation-interval", "ablation-switch", "ablation-increment", "ablation-power",
+		"ablation-tlb", "ablation-bpred", "ablation-combined",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	for _, id := range IDs() {
+		if title, err := Title(id); err != nil || title == "" {
+			t.Errorf("%s: bad title (%v)", id, err)
+		}
+	}
+	if _, err := Title("nope"); err == nil {
+		t.Error("unknown title accepted")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", fastConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := fastConfig()
+	cfg.CacheRefs = 10
+	if _, err := Run("fig1a", cfg); err == nil {
+		t.Error("tiny cache budget accepted")
+	}
+}
+
+func TestWireFigures(t *testing.T) {
+	for _, id := range []string{"fig1a", "fig1b", "fig2"} {
+		res, err := Run(id, fastConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Figures) != 1 {
+			t.Fatalf("%s: %d figures", id, len(res.Figures))
+		}
+		fig := res.Figures[0]
+		if len(fig.Series) != 4 { // unbuffered + 3 generations
+			t.Fatalf("%s: %d series", id, len(fig.Series))
+		}
+		un := fig.Series[0]
+		// Unbuffered curve grows superlinearly.
+		n := len(un.Y)
+		if un.Y[n-1] <= un.Y[0]*float64(n) {
+			t.Errorf("%s: unbuffered curve not superlinear: %v", id, un.Y)
+		}
+		// Buffered curves are ordered by feature size at the largest X
+		// (smaller feature = faster devices).
+		last := func(s metrics.Series) float64 { return s.Y[len(s.Y)-1] }
+		if !(last(fig.Series[1]) > last(fig.Series[2]) && last(fig.Series[2]) > last(fig.Series[3])) {
+			t.Errorf("%s: buffered curves not ordered by generation", id)
+		}
+		// At the largest size every generation's buffering must win.
+		if last(fig.Series[2]) >= last(un) {
+			t.Errorf("%s: 0.18u buffering loses at max size", id)
+		}
+		if len(res.Notes) == 0 {
+			t.Errorf("%s: no crossover notes", id)
+		}
+		if !strings.Contains(res.Render(), fig.ID) {
+			t.Errorf("%s: render missing figure id", id)
+		}
+	}
+}
+
+func TestFig1aCrossoverMatchesPaper(t *testing.T) {
+	// Paper Section 2: with 2KB subarrays at 0.18 micron, caches of 16KB
+	// (8 arrays) and larger benefit from buffering.
+	res, err := Run("fig1a", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figures[0]
+	un, b18 := fig.Series[0], fig.Series[2]
+	if !strings.Contains(b18.Name, "0.18") {
+		t.Fatalf("series order changed: %s", b18.Name)
+	}
+	for i, x := range un.X {
+		buffered := b18.Y[i] < un.Y[i]
+		if x <= 6 && buffered {
+			t.Errorf("0.18u buffering already wins at %v arrays", x)
+		}
+		if x >= 10 && !buffered {
+			t.Errorf("0.18u buffering still loses at %v arrays", x)
+		}
+	}
+}
+
+func TestCacheFigures(t *testing.T) {
+	cfg := fastConfig()
+	res7, err := Run("fig7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res7.Figures) != 2 {
+		t.Fatalf("fig7 panels: %d", len(res7.Figures))
+	}
+	ints, fps := res7.Figures[0], res7.Figures[1]
+	if len(ints.Series) != 7 { // 8 SPECint minus go
+		t.Errorf("fig7a has %d series, want 7", len(ints.Series))
+	}
+	if len(fps.Series) != 14 {
+		t.Errorf("fig7b has %d series, want 14", len(fps.Series))
+	}
+	for _, s := range append(ints.Series, fps.Series...) {
+		if len(s.X) != 8 {
+			t.Fatalf("%s: %d points", s.Name, len(s.X))
+		}
+		if s.X[0] != 8 || s.X[7] != 64 {
+			t.Fatalf("%s: L1 sizes %v", s.Name, s.X)
+		}
+		for _, y := range s.Y {
+			if y <= 0 || y > 5 {
+				t.Fatalf("%s: implausible TPI %v", s.Name, y)
+			}
+		}
+	}
+
+	res9, err := Run("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res9.Tables[0]
+	if len(tab.Rows) != 22 { // 21 apps + average
+		t.Fatalf("fig9 rows: %d", len(tab.Rows))
+	}
+	if tab.Rows[21][0] != "average" {
+		t.Errorf("last row %v", tab.Rows[21])
+	}
+
+	res8, err := Run("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res8.Tables[0].Rows) != 22 {
+		t.Fatalf("fig8 rows: %d", len(res8.Tables[0].Rows))
+	}
+}
+
+func TestCacheHeadlineShape(t *testing.T) {
+	// The adaptive scheme must never lose to the conventional baseline
+	// (it can always pick the baseline), and the workload-average gain
+	// must be positive with stereo among the big winners.
+	res, err := Run("fig9", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	var stereoGain string
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[4], "-") {
+			t.Errorf("%s: adaptive lost to conventional (%s)", row[0], row[4])
+		}
+		if row[0] == "stereo" {
+			stereoGain = row[4]
+		}
+	}
+	if !strings.HasPrefix(stereoGain, "+4") && !strings.HasPrefix(stereoGain, "+5") && !strings.HasPrefix(stereoGain, "+6") {
+		t.Errorf("stereo gain %s, want ~+40-60%% (paper: 46%%)", stereoGain)
+	}
+}
+
+func TestQueueFigures(t *testing.T) {
+	cfg := fastConfig()
+	res10, err := Run("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res10.Figures) != 2 {
+		t.Fatalf("fig10 panels: %d", len(res10.Figures))
+	}
+	if n := len(res10.Figures[0].Series); n != 8 { // 8 SPECint
+		t.Errorf("fig10a series %d, want 8", n)
+	}
+	if n := len(res10.Figures[1].Series); n != 14 {
+		t.Errorf("fig10b series %d, want 14", n)
+	}
+
+	res11, err := Run("fig11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res11.Tables[0]
+	if len(tab.Rows) != 23 { // 22 apps + average
+		t.Fatalf("fig11 rows: %d", len(tab.Rows))
+	}
+	gainers := map[string]bool{}
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[4], "-") {
+			t.Errorf("%s: adaptive lost to conventional", row[0])
+		}
+		if strings.HasPrefix(row[4], "+") && row[4] != "+0.0%" {
+			gainers[row[0]] = true
+		}
+	}
+	// The paper's biggest queue winners.
+	for _, app := range []string{"appcg", "fpppp", "radar"} {
+		if !gainers[app] {
+			t.Errorf("%s shows no adaptive gain", app)
+		}
+	}
+}
+
+func TestIntervalFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interval snapshots are slow")
+	}
+	cfg := fastConfig()
+	res12, err := Run("fig12", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res12.Figures) != 2 || len(res12.Notes) != 2 {
+		t.Fatalf("fig12 shape: %d figures %d notes", len(res12.Figures), len(res12.Notes))
+	}
+	// Snapshot (a) is in the 64-favouring phase, (b) in the 128 phase.
+	if !strings.Contains(res12.Notes[0], "64 wins") {
+		t.Errorf("fig12(a): %s", res12.Notes[0])
+	}
+	if !strings.Contains(res12.Notes[1], "128 wins") {
+		t.Errorf("fig12(b): %s", res12.Notes[1])
+	}
+
+	res13, err := Run("fig13", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res13.Figures) != 2 {
+		t.Fatalf("fig13 figures: %d", len(res13.Figures))
+	}
+	// The irregular snapshot flips frequently.
+	if !strings.Contains(res13.Notes[1], "flips") {
+		t.Errorf("fig13(b): %s", res13.Notes[1])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	cfg := fastConfig()
+	for _, id := range []string{"ablation-switch", "ablation-increment", "ablation-power", "ablation-tlb", "ablation-bpred"} {
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Figures)+len(res.Tables) == 0 {
+			t.Errorf("%s: empty result", id)
+		}
+	}
+}
+
+func TestAblationIntervalOracleBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Run("ablation-interval", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	for _, row := range tab.Rows {
+		var fixed, adaptive, oracle float64
+		if _, err := sscan(row[2], &fixed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[3], &adaptive); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[4], &oracle); err != nil {
+			t.Fatal(err)
+		}
+		// The oracle (no switch costs, perfect prediction) lower-bounds
+		// everything; the adaptive policy must not be wildly worse than
+		// the best fixed configuration.
+		if oracle > fixed+1e-9 {
+			t.Errorf("%s: oracle %v worse than best fixed %v", row[0], oracle, fixed)
+		}
+		if adaptive > fixed*1.15 {
+			t.Errorf("%s: interval policy %v much worse than fixed %v", row[0], adaptive, fixed)
+		}
+	}
+}
+
+func sscan(s string, f *float64) (int, error) {
+	return fmt.Sscan(s, f)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"capsim/internal/core"
+	"capsim/internal/metrics"
+	"capsim/internal/workload"
+)
+
+func init() {
+	register("fig10", "Average TPI vs instruction queue size per application (Figure 10)", fig10)
+	register("fig11", "Average TPI: conventional vs process-level adaptive queue (Figure 11)", fig11)
+}
+
+// queueStudy is the shared profiling pass behind Figures 10-11.
+type queueStudy struct {
+	apps     []workload.Benchmark
+	sizes    []int
+	tpi      map[string]map[int]float64 // by app, by config index
+	convBest int                        // config index with smallest average TPI
+}
+
+var (
+	queueStudyMu    sync.Mutex
+	queueStudyCache = map[string]*queueStudy{}
+)
+
+func queueStudyKey(cfg Config) string {
+	return fmt.Sprintf("%d/%d/%v", cfg.Seed, cfg.QueueInstrs, cfg.Feature)
+}
+
+func runQueueStudy(cfg Config) (*queueStudy, error) {
+	queueStudyMu.Lock()
+	defer queueStudyMu.Unlock()
+	if s, ok := queueStudyCache[queueStudyKey(cfg)]; ok {
+		return s, nil
+	}
+	s := &queueStudy{
+		apps:  workload.QueueApps(),
+		sizes: core.PaperQueueSizes(),
+		tpi:   map[string]map[int]float64{},
+	}
+	for _, b := range s.apps {
+		tpi, err := core.ProfileQueueTPI(b, cfg.Seed, s.sizes, cfg.QueueInstrs, cfg.Feature)
+		if err != nil {
+			return nil, err
+		}
+		s.tpi[b.Name] = tpi
+	}
+	bestI, bestAvg := -1, 0.0
+	for i := range s.sizes {
+		var sum float64
+		for _, b := range s.apps {
+			sum += s.tpi[b.Name][i]
+		}
+		avg := sum / float64(len(s.apps))
+		if bestI < 0 || avg < bestAvg {
+			bestI, bestAvg = i, avg
+		}
+	}
+	s.convBest = bestI
+	queueStudyCache[queueStudyKey(cfg)] = s
+	return s, nil
+}
+
+// fig10 renders per-application TPI vs queue size, split into the paper's
+// integer (a) and floating-point (b) panels.
+func fig10(cfg Config) (Result, error) {
+	s, err := runQueueStudy(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	mk := func(id, title string, fp bool) metrics.Figure {
+		fig := metrics.Figure{
+			ID:     id,
+			Title:  title,
+			XLabel: "instruction queue size (entries)",
+			YLabel: "Avg TPI (ns)",
+		}
+		for _, b := range s.apps {
+			if b.FloatingPoint != fp {
+				continue
+			}
+			var xs, ys []float64
+			for i, w := range s.sizes {
+				xs = append(xs, float64(w))
+				ys = append(ys, s.tpi[b.Name][i])
+			}
+			fig.Series = append(fig.Series, metrics.Series{Name: b.Name, X: xs, Y: ys})
+		}
+		return fig
+	}
+	return Result{
+		ID:    "fig10",
+		Title: "Variation of average TPI with instruction queue size",
+		Figures: []metrics.Figure{
+			mk("fig10a", "Integer benchmarks", false),
+			mk("fig10b", "Floating-point benchmarks", true),
+		},
+		Notes: []string{fmt.Sprintf("best conventional configuration: %d entries", s.sizes[s.convBest])},
+	}, nil
+}
+
+func fig11(cfg Config) (Result, error) {
+	s, err := runQueueStudy(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	t := metrics.Table{
+		ID:      "fig11",
+		Title:   "Average TPI (ns): conventional vs process-level adaptive queue",
+		Columns: []string{"benchmark", "best conventional", "process-level adaptive", "adaptive queue", "reduction"},
+	}
+	var convSum, adptSum float64
+	for _, b := range s.apps {
+		bestI := core.SelectBest(s.tpi[b.Name])
+		conv := s.tpi[b.Name][s.convBest]
+		adpt := s.tpi[b.Name][bestI]
+		convSum += conv
+		adptSum += adpt
+		t.Rows = append(t.Rows, []string{
+			b.Name, metrics.F(conv), metrics.F(adpt),
+			fmt.Sprintf("%d entries", s.sizes[bestI]),
+			metrics.Pct(metrics.Reduction(conv, adpt)),
+		})
+	}
+	n := float64(len(s.apps))
+	t.Rows = append(t.Rows, []string{
+		"average", metrics.F(convSum / n), metrics.F(adptSum / n), "",
+		metrics.Pct(metrics.Reduction(convSum/n, adptSum/n)),
+	})
+	return Result{
+		ID: "fig11", Title: t.Title, Tables: []metrics.Table{t},
+		Notes: []string{fmt.Sprintf("conventional baseline: %d entries", s.sizes[s.convBest])},
+	}, nil
+}

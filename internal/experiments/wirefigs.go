@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capsim/internal/cacti"
+	"capsim/internal/metrics"
+	"capsim/internal/palacharla"
+	"capsim/internal/tech"
+	"capsim/internal/wire"
+)
+
+func init() {
+	register("fig1a", "Cache wire delay vs number of 2KB subarrays (Figure 1a)",
+		func(cfg Config) (Result, error) { return wireCacheFig("fig1a", 2048, cfg) })
+	register("fig1b", "Cache wire delay vs number of 4KB subarrays (Figure 1b)",
+		func(cfg Config) (Result, error) { return wireCacheFig("fig1b", 4096, cfg) })
+	register("fig2", "Integer queue wire delay vs number of entries (Figure 2)", fig2)
+}
+
+// refFeature is the generation whose layout the wire figures freeze: the
+// paper scales buffer (device) delays linearly with feature size while wire
+// delays remain constant, i.e. it evaluates successively faster devices on
+// the same physical wires. This is also why its unbuffered curve is unique.
+const refFeature = tech.Micron025
+
+// arrayBusLoad is the address-bus load per cache subarray, in repeater input
+// capacitances.
+const arrayBusLoad = 8.0
+
+// wireCacheFig regenerates Figure 1(a) or 1(b): unbuffered vs optimally
+// buffered address-bus delay over a stack of cache subarrays.
+func wireCacheFig(id string, subarrayBytes int, _ Config) (Result, error) {
+	ref := tech.ForFeature(refFeature)
+	bank := cacti.Config{SizeBytes: subarrayBytes, BlockBytes: 32, Assoc: 2}
+	_, pitch := cacti.Dimensions(bank, ref)
+
+	ns := []int{4, 6, 8, 10, 12, 14, 16}
+	xs := make([]float64, len(ns))
+	unbuf := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+		l := wire.Line{LengthMM: float64(n) * pitch, LoadC: float64(n) * arrayBusLoad * ref.BufferC}
+		unbuf[i] = wire.UnbufferedDelay(l, ref)
+	}
+	fig := metrics.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Address-bus wire delay, %dKB subarrays", subarrayBytes/1024),
+		XLabel: "number of cache arrays",
+		YLabel: "wire delay (ns)",
+		Series: []metrics.Series{{Name: "Unbuffered", X: xs, Y: unbuf}},
+	}
+	for _, f := range tech.Generations() {
+		p := tech.ForFeature(f)
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			// Frozen geometry, scaled devices: wire length from the
+			// reference layout, loads and buffers from generation f.
+			l := wire.Line{LengthMM: float64(n) * pitch, LoadC: float64(n) * arrayBusLoad * p.BufferC}
+			ys[i], _ = wire.OptimalBufferedDelay(l, p)
+		}
+		fig.Series = append(fig.Series, metrics.Series{Name: "Buffers, " + f.String(), X: xs, Y: ys})
+	}
+	return Result{
+		ID:      id,
+		Title:   fig.Title,
+		Figures: []metrics.Figure{fig},
+		Notes:   crossoverNotes(fig),
+	}, nil
+}
+
+// fig2 regenerates Figure 2: integer-queue bus delay vs entry count, with
+// each R10000-style entry equivalent to ~60 bytes of single-ported RAM.
+func fig2(_ Config) (Result, error) {
+	ref := tech.ForFeature(refFeature)
+	ns := []int{16, 24, 32, 40, 48, 56, 64}
+	xs := make([]float64, len(ns))
+	unbuf := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+		l := wire.Line{
+			LengthMM: palacharla.BusLengthMM(n, ref),
+			LoadC:    float64(n) * palacharla.EntryLoadPF(ref),
+		}
+		unbuf[i] = wire.UnbufferedDelay(l, ref)
+	}
+	fig := metrics.Figure{
+		ID:     "fig2",
+		Title:  "Integer queue wire delay vs entries",
+		XLabel: "instruction queue entries",
+		YLabel: "wire delay (ns)",
+		Series: []metrics.Series{{Name: "Unbuffered", X: xs, Y: unbuf}},
+	}
+	for _, f := range tech.Generations() {
+		p := tech.ForFeature(f)
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			l := wire.Line{
+				LengthMM: palacharla.BusLengthMM(n, ref),
+				LoadC:    float64(n) * palacharla.EntryLoadPF(p),
+			}
+			ys[i], _ = wire.OptimalBufferedDelay(l, p)
+		}
+		fig.Series = append(fig.Series, metrics.Series{Name: "Buffers, " + f.String(), X: xs, Y: ys})
+	}
+	return Result{
+		ID:      "fig2",
+		Title:   fig.Title,
+		Figures: []metrics.Figure{fig},
+		Notes:   crossoverNotes(fig),
+	}, nil
+}
+
+// crossoverNotes reports, per buffered series, the first X at which
+// buffering beats the unbuffered wire — the quantity the paper's Section 2
+// prose highlights.
+func crossoverNotes(fig metrics.Figure) []string {
+	if len(fig.Series) == 0 {
+		return nil
+	}
+	un := fig.Series[0]
+	var notes []string
+	for _, s := range fig.Series[1:] {
+		cross := -1.0
+		for i := range s.X {
+			if s.Y[i] < un.Y[i] {
+				cross = s.X[i]
+				break
+			}
+		}
+		if cross >= 0 {
+			notes = append(notes, fmt.Sprintf("%s: buffering wins from %g %s", s.Name, cross, fig.XLabel))
+		} else {
+			notes = append(notes, fmt.Sprintf("%s: buffering never wins in range", s.Name))
+		}
+	}
+	return notes
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Errorf("GeoMean with negative = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(2, 1); got != 0.5 {
+		t.Errorf("Reduction = %v", got)
+	}
+	if got := Reduction(0, 1); got != 0 {
+		t.Errorf("Reduction(0,..) = %v", got)
+	}
+	if got := Reduction(1, 2); got != -1 {
+		t.Errorf("negative reduction = %v", got)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{0.3, 0.4}},
+		},
+	}
+	out := f.Render()
+	for _, want := range []string{"figX", "demo", "a", "b", "0.1000", "0.4000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Series b has no value at x=1: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder for absent point:\n%s", out)
+	}
+	// The union domain is sorted: 1 before 3.
+	if strings.Index(out, " 1") > strings.Index(out, " 3") {
+		t.Errorf("x values out of order:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID: "t1", Title: "demo table",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1.0"}, {"b", "22.5"}},
+	}
+	out := tb.Render()
+	for _, want := range []string{"t1", "demo table", "name", "alpha", "22.5", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + separator + 2 rows + title line.
+	if len(lines) != 5 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(0.123456); got != "0.1235" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Pct(0.256); got != "+25.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.01); got != "-1.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,318 @@
+// Package ooo implements the out-of-order issue-queue simulator used for the
+// paper's complexity-adaptive instruction queue experiment (Section 5.3).
+//
+// Following the paper's methodology, the machine model is deliberately
+// idealized everywhere except the queue itself: an 8-way fetch/dispatch
+// front end with perfect branch prediction, perfect caches, and plentiful
+// functional units. IPC is then determined solely by how much of the
+// instruction stream's dependence structure the window can expose — which is
+// exactly the quantity that trades against the queue's wakeup+select cycle
+// time.
+//
+// The queue is a RAM/CAM structure: dispatched instructions wait in the
+// window until their source operands complete (wakeup), ready instructions
+// issue oldest-first up to the issue width (select, a tree of priority
+// encoders), and entries are freed at issue. Shrinking the queue requires
+// draining the entries being disabled (paper Section 5.1); Drain models
+// that.
+package ooo
+
+import (
+	"fmt"
+
+	"capsim/internal/workload"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// WindowSize is the number of instruction-queue entries.
+	WindowSize int
+	// IssueWidth is the maximum instructions issued per cycle (and the
+	// dispatch width; the paper models an 8-way machine).
+	IssueWidth int
+}
+
+// PaperConfig returns the paper's 8-way machine with the given window.
+func PaperConfig(window int) Config { return Config{WindowSize: window, IssueWidth: 8} }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.WindowSize < 1 {
+		return fmt.Errorf("ooo: window size %d must be >= 1", c.WindowSize)
+	}
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("ooo: issue width %d must be >= 1", c.IssueWidth)
+	}
+	return nil
+}
+
+// ringSize is the completion-time ring capacity. It must comfortably exceed
+// the window size plus the largest dependence distance so that a slot is
+// never reused while a consumer might still inspect it.
+const ringSize = 1 << 16
+
+// maxDist caps usable dependence distances; producers further away are
+// treated as retired (their results are trivially available).
+const maxDist = ringSize / 2
+
+// pending marks a dispatched-but-not-yet-issued producer in the ring.
+const pending = int64(1) << 62
+
+// entry is one occupied window slot.
+type entry struct {
+	seq   int64 // dynamic instruction number (issue priority: oldest first)
+	src0  int64 // producer seq, or -1
+	src1  int64 // producer seq, or -1
+	ready int64 // resolved readiness cycle, or -1 while a source is pending
+	lat   int64
+}
+
+// Core is the simulator state.
+type Core struct {
+	cfg   Config
+	cycle int64
+	seq   int64 // next dynamic instruction number to dispatch
+
+	// window is kept in dispatch order (oldest first); the select logic
+	// scans it in order, matching an oldest-first priority encoder tree.
+	window []entry
+
+	// done[seq % ringSize] is the cycle the instruction's result is
+	// available, or `pending` while it sits unissued in the window.
+	done [ringSize]int64
+
+	// Load attachment (RunWithLoads): every 1/loadRPI-th dispatched
+	// instruction becomes a memory operation whose extra latency is
+	// drawn from memLat. Zero-valued = disabled (perfect caches).
+	loadRPI float64
+	loadAcc float64
+	memLat  func(write bool) int64
+
+	stats Stats
+}
+
+// Stats accumulates execution statistics.
+type Stats struct {
+	Cycles       int64
+	Instrs       int64 // dispatched
+	Issued       int64
+	DrainStalls  int64 // cycles spent draining for downsizing
+	WindowFullCy int64 // cycles in which dispatch was blocked by a full window
+}
+
+// IPC returns issued instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// Sub returns s - o, the statistics delta between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Cycles:       s.Cycles - o.Cycles,
+		Instrs:       s.Instrs - o.Instrs,
+		Issued:       s.Issued - o.Issued,
+		DrainStalls:  s.DrainStalls - o.DrainStalls,
+		WindowFullCy: s.WindowFullCy - o.WindowFullCy,
+	}
+}
+
+// New creates a core.
+func New(cfg Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WindowSize >= maxDist {
+		return nil, fmt.Errorf("ooo: window size %d exceeds supported maximum %d", cfg.WindowSize, maxDist-1)
+	}
+	return &Core{
+		cfg:    cfg,
+		window: make([]entry, 0, cfg.WindowSize),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Core {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Stats returns accumulated statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes counters without touching pipeline state (used to
+// discard warm-up and to delimit measurement intervals).
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Occupancy returns the current number of window entries in use.
+func (c *Core) Occupancy() int { return len(c.window) }
+
+// Run simulates until n more instructions have been issued, pulling from the
+// stream as needed, and returns the statistics delta for this run. Issued
+// instructions are the paper's measurement unit (TPI over a fixed
+// instruction count).
+func (c *Core) Run(stream *workload.InstrStream, n int64) Stats {
+	before := c.stats
+	target := c.stats.Issued + n
+	for c.stats.Issued < target {
+		c.Step(stream)
+	}
+	return c.stats.Sub(before)
+}
+
+// RunWithLoads is Run with the perfect-cache assumption removed: a
+// deterministic rpi fraction of dispatched instructions become memory
+// operations whose extra completion latency is supplied by memLat (cycles
+// beyond a pipelined L1 hit). The CombinedMachine uses this to couple the
+// adaptive queue to the live adaptive cache hierarchy.
+func (c *Core) RunWithLoads(stream *workload.InstrStream, n int64, rpi float64, memLat func(write bool) int64) Stats {
+	if rpi < 0 {
+		rpi = 0
+	}
+	if rpi > 1 {
+		rpi = 1
+	}
+	c.loadRPI, c.memLat = rpi, memLat
+	defer func() { c.loadRPI, c.memLat = 0, nil }()
+	return c.Run(stream, n)
+}
+
+// Step advances the machine by one cycle: dispatch up to IssueWidth new
+// instructions into free window slots, then wake up and select up to
+// IssueWidth ready instructions to issue.
+func (c *Core) Step(stream *workload.InstrStream) {
+	c.cycle++
+	c.stats.Cycles++
+
+	// Dispatch. The front end is perfect, so it always has instructions.
+	free := c.cfg.WindowSize - len(c.window)
+	dispatch := c.cfg.IssueWidth
+	if dispatch > free {
+		dispatch = free
+		if free == 0 {
+			c.stats.WindowFullCy++
+		}
+	}
+	for i := 0; i < dispatch; i++ {
+		in := stream.Next()
+		seq := c.seq
+		c.seq++
+		c.stats.Instrs++
+		e := entry{seq: seq, src0: -1, src1: -1, lat: int64(in.Latency)}
+		if c.loadRPI > 0 {
+			c.loadAcc += c.loadRPI
+			if c.loadAcc >= 1 {
+				c.loadAcc--
+				// Memory operation: the hierarchy's stall cycles
+				// extend the consumer-visible latency.
+				e.lat += c.memLat(false)
+			}
+		}
+		e.src0 = c.producer(seq, in.Src[0])
+		e.src1 = c.producer(seq, in.Src[1])
+		e.ready = -1
+		c.done[seq%ringSize] = pending
+		c.window = append(c.window, e)
+	}
+
+	c.issueCycle()
+}
+
+// producer maps a dependence distance to a producer seq, or -1 when the
+// producer is retired (distance 0, out of range, or before program start).
+func (c *Core) producer(seq int64, dist int32) int64 {
+	if dist <= 0 || int64(dist) >= maxDist {
+		return -1
+	}
+	p := seq - int64(dist)
+	if p < 0 {
+		return -1
+	}
+	return p
+}
+
+// issueCycle performs one wakeup+select pass at the current cycle.
+func (c *Core) issueCycle() {
+	issued := 0
+	w := c.window[:0]
+	for i := range c.window {
+		e := c.window[i]
+		if e.ready < 0 {
+			e.ready = c.resolve(&e)
+		}
+		if e.ready >= 0 && e.ready <= c.cycle && issued < c.cfg.IssueWidth {
+			c.done[e.seq%ringSize] = c.cycle + e.lat
+			c.stats.Issued++
+			issued++
+			continue
+		}
+		w = append(w, e)
+	}
+	c.window = w
+}
+
+// resolve attempts to compute the entry's readiness cycle; it returns -1
+// while any producer is still unissued. Because the window is scanned oldest
+// first, a producer issuing this cycle is visible to its consumers in the
+// same pass, enabling back-to-back issue of single-cycle dependent pairs.
+func (c *Core) resolve(e *entry) int64 {
+	ready := int64(0)
+	if e.src0 >= 0 {
+		t := c.done[e.src0%ringSize]
+		if t == pending {
+			return -1
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	if e.src1 >= 0 {
+		t := c.done[e.src1%ringSize]
+		if t == pending {
+			return -1
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	return ready
+}
+
+// Drain forces the core to issue (without dispatching) until the window
+// occupancy is at most max, modelling the cleanup required before disabling
+// queue entries when downsizing (paper Sections 4.2 and 5.1). The stall
+// cycles are recorded in DrainStalls. Entries whose operands are not yet
+// ready simply wait; plentiful functional units guarantee forward progress.
+func (c *Core) Drain(max int) {
+	if max < 0 {
+		max = 0
+	}
+	for len(c.window) > max {
+		c.cycle++
+		c.stats.Cycles++
+		c.stats.DrainStalls++
+		c.issueCycle()
+	}
+}
+
+// Resize changes the window size, draining first when shrinking. Growing is
+// immediate (newly enabled entries start empty). Returns an error for
+// non-positive or unsupported sizes.
+func (c *Core) Resize(newSize int) error {
+	if newSize < 1 || newSize >= maxDist {
+		return fmt.Errorf("ooo: window size %d out of range", newSize)
+	}
+	if newSize < len(c.window) {
+		c.Drain(newSize)
+	}
+	c.cfg.WindowSize = newSize
+	return nil
+}

@@ -1,0 +1,119 @@
+package palacharla
+
+import (
+	"testing"
+
+	"capsim/internal/tech"
+)
+
+var p18 = tech.ForFeature(tech.Micron018)
+
+func q(entries int) Queue { return Queue{Entries: entries, IssueWidth: 8} }
+
+func TestValidate(t *testing.T) {
+	if err := q(16).Validate(); err != nil {
+		t.Errorf("valid queue rejected: %v", err)
+	}
+	if err := (Queue{Entries: 0, IssueWidth: 8}).Validate(); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if err := (Queue{Entries: 16, IssueWidth: 0}).Validate(); err == nil {
+		t.Error("zero issue width accepted")
+	}
+}
+
+func TestSelectTreeHeight(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 4: 1, 5: 2, 16: 2, 17: 3, 64: 3, 65: 4, 128: 4}
+	for entries, want := range cases {
+		if got := SelectTreeHeight(entries); got != want {
+			t.Errorf("SelectTreeHeight(%d) = %d, want %d", entries, got, want)
+		}
+	}
+}
+
+func TestCycleTimeMonotoneInEntries(t *testing.T) {
+	prev := 0.0
+	for w := 16; w <= 128; w += 16 {
+		c := CycleTime(q(w), p18)
+		if c <= prev {
+			t.Errorf("W=%d: cycle %v not greater than W=%d's %v", w, c, w-16, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCycleTimeAnchors(t *testing.T) {
+	// Calibration anchors at 0.18 micron: a 16-entry 8-way queue cycles
+	// around 0.45-0.50 ns; 128 entries around 0.8-0.95 ns.
+	c16 := CycleTime(q(16), p18)
+	c128 := CycleTime(q(128), p18)
+	if c16 < 0.35 || c16 > 0.60 {
+		t.Errorf("16-entry cycle %v ns outside anchor band", c16)
+	}
+	if c128 < 0.70 || c128 > 1.05 {
+		t.Errorf("128-entry cycle %v ns outside anchor band", c128)
+	}
+	ratio := c128 / c16
+	if ratio < 1.4 || ratio > 2.2 {
+		t.Errorf("128/16 cycle ratio %v outside plausible band", ratio)
+	}
+}
+
+func TestCycleTimeScalesWithFeature(t *testing.T) {
+	c25 := CycleTime(q(64), tech.ForFeature(tech.Micron025))
+	c18 := CycleTime(q(64), p18)
+	c12 := CycleTime(q(64), tech.ForFeature(tech.Micron012))
+	if !(c12 < c18 && c18 < c25) {
+		t.Errorf("cycle times not ordered by feature: %v %v %v", c25, c18, c12)
+	}
+}
+
+func TestWakeupGrowsWithIssueWidth(t *testing.T) {
+	w8 := WakeupDelay(Queue{Entries: 64, IssueWidth: 8}, p18)
+	w16 := WakeupDelay(Queue{Entries: 64, IssueWidth: 16}, p18)
+	if w16 <= w8 {
+		t.Errorf("16-wide wakeup %v not slower than 8-wide %v", w16, w8)
+	}
+}
+
+func TestSelectDelayStepsAtTreeLevels(t *testing.T) {
+	// Select delay is constant within a tree level and jumps across it.
+	s64 := SelectDelay(q(64), p18)
+	s48 := SelectDelay(q(48), p18)
+	s80 := SelectDelay(q(80), p18)
+	if s64 != s48 {
+		t.Errorf("48 and 64 entries share a tree height; %v vs %v", s48, s64)
+	}
+	if s80 <= s64 {
+		t.Errorf("80 entries needs a taller tree; %v vs %v", s80, s64)
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	h := EntryHeightMM(p18)
+	if h <= 0 || h > 0.1 {
+		t.Errorf("entry height %v mm implausible", h)
+	}
+	if got := BusLengthMM(64, p18); got != 64*h {
+		t.Errorf("bus length %v, want %v", got, 64*h)
+	}
+	if got := BusLengthMM(-3, p18); got != 0 {
+		t.Errorf("negative entries bus length %v, want 0", got)
+	}
+	if EntryLoadPF(p18) <= 0 {
+		t.Error("non-positive entry load")
+	}
+	// Loads scale with feature size (gate capacitance).
+	if EntryLoadPF(tech.ForFeature(tech.Micron012)) >= EntryLoadPF(p18) {
+		t.Error("entry load should shrink with feature size")
+	}
+}
+
+func TestWakeupPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WakeupDelay(Queue{Entries: 0, IssueWidth: 8}, p18)
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"capsim/internal/rng"
+)
+
+// Instr is one dynamic instruction of the synthetic stream. Sources are
+// expressed as dependence distances: Src[i] = d > 0 means the instruction
+// consumes the result of the instruction d positions earlier in the dynamic
+// stream; 0 means no (or an already-retired) source.
+type Instr struct {
+	Src     [2]int32
+	Latency int8
+}
+
+// InstrStream generates the synthetic dynamic instruction stream of a
+// benchmark, applying its phase schedule. The stream is infinite and
+// deterministic for a given seed.
+type InstrStream struct {
+	prof ILPProfile
+	src  *rng.Source
+
+	idx int64 // dynamic instruction index
+
+	cur        ILPParams
+	inAlt      bool
+	phaseLeft  int64
+	superLeft  int64
+	superInReg bool // composite: currently in the regular super-block
+
+	// cached sampling tables for the current params
+	srcW  []float64
+	distW []float64
+	latW  []float64
+}
+
+// NewInstrStream creates the stream generator for benchmark b.
+func NewInstrStream(b Benchmark, seed uint64) *InstrStream {
+	if err := b.ILP.Validate(); err != nil {
+		panic(err)
+	}
+	s := &InstrStream{
+		prof: b.ILP,
+		src:  rng.New(rng.DeriveSeed(seed, b.Name+"/ilp")),
+	}
+	s.superInReg = true
+	s.superLeft = b.ILP.SuperPeriodInstrs
+	s.setParams(b.ILP.Base, false)
+	s.phaseLeft = s.firstPhaseLen()
+	return s
+}
+
+// Index returns the number of instructions generated so far.
+func (s *InstrStream) Index() int64 { return s.idx }
+
+// InAltPhase reports whether the generator is currently in the Alt phase
+// (diagnostics and phase-visualization tooling).
+func (s *InstrStream) InAltPhase() bool { return s.inAlt }
+
+func (s *InstrStream) setParams(p ILPParams, alt bool) {
+	s.cur = p
+	s.inAlt = alt
+	s.srcW = append(s.srcW[:0], p.SrcWeights[0], p.SrcWeights[1], p.SrcWeights[2])
+	s.distW = s.distW[:0]
+	for _, d := range p.Dists {
+		s.distW = append(s.distW, d.Weight)
+	}
+	s.latW = s.latW[:0]
+	for _, l := range p.Lats {
+		s.latW = append(s.latW, l.Weight)
+	}
+}
+
+// firstPhaseLen returns the length of the initial phase block.
+func (s *InstrStream) firstPhaseLen() int64 {
+	switch s.prof.Kind {
+	case PhaseStable:
+		return 1 << 62
+	case PhaseIrregular:
+		return s.irregularLen(float64(s.prof.PeriodInstrs))
+	case PhaseComposite:
+		return s.prof.PeriodInstrs
+	default:
+		return s.prof.PeriodInstrs
+	}
+}
+
+// irregularLen draws a geometric phase run with the given mean length.
+func (s *InstrStream) irregularLen(mean float64) int64 {
+	if mean < 512 {
+		mean = 512
+	}
+	n := int64(float64(s.src.Geometric(1/(mean/256))) * 256)
+	if n < 512 {
+		n = 512
+	}
+	return n
+}
+
+// advancePhase flips the active parameter set when a phase block ends.
+func (s *InstrStream) advancePhase() {
+	if s.prof.Kind == PhaseStable {
+		s.phaseLeft = 1 << 62
+		return
+	}
+	// Composite: check super-block boundary first.
+	if s.prof.Kind == PhaseComposite && s.superLeft <= 0 {
+		s.superInReg = !s.superInReg
+		s.superLeft = s.prof.SuperPeriodInstrs
+	}
+	flipTo := !s.inAlt
+	if flipTo {
+		s.setParams(*s.prof.Alt, true)
+	} else {
+		s.setParams(s.prof.Base, false)
+	}
+	switch s.prof.Kind {
+	case PhaseIrregular:
+		s.phaseLeft = s.irregularLen(float64(s.prof.PeriodInstrs))
+	case PhaseComposite:
+		if s.superInReg {
+			s.phaseLeft = s.prof.PeriodInstrs
+		} else {
+			// Irregular stretches flip much faster than the regular
+			// alternation (Figure 13(b): "varies frequently and
+			// almost randomly").
+			s.phaseLeft = s.irregularLen(float64(s.prof.PeriodInstrs) / 6)
+		}
+	default:
+		s.phaseLeft = s.prof.PeriodInstrs
+	}
+}
+
+// Next returns the next instruction.
+func (s *InstrStream) Next() Instr {
+	if s.phaseLeft <= 0 {
+		s.advancePhase()
+	}
+	s.phaseLeft--
+	if s.prof.Kind == PhaseComposite {
+		s.superLeft--
+	}
+	s.idx++
+
+	var in Instr
+	nsrc := s.src.Weighted(s.srcW)
+	for i := 0; i < nsrc; i++ {
+		c := s.cur.Dists[s.src.Weighted(s.distW)]
+		// Distance = 1 + geometric with mean (c.Mean - 1).
+		d := int32(1)
+		if c.Mean > 1 {
+			d += int32(s.src.Geometric(1 / c.Mean))
+		}
+		in.Src[i] = d
+	}
+	lc := s.cur.Lats[s.src.Weighted(s.latW)]
+	in.Latency = int8(lc.Cycles)
+	return in
+}
+
+// Fill writes n instructions into out (allocating if needed) and returns the
+// slice.
+func (s *InstrStream) Fill(out []Instr, n int) []Instr {
+	if cap(out) < n {
+		out = make([]Instr, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package workload
+
+// This file defines the 22 application profiles standing in for the paper's
+// workload: the SPEC95 suite, airshed/stereo/radar from the CMU task
+// parallel suite, and the NAS appcg kernel. The numeric parameters are
+// calibrated against the per-application curve shapes the paper reports in
+// Figures 7 and 10 and the prose in Sections 5.2.2, 5.2.3, 5.3.1 and 6:
+//
+//   - most applications' Dcache behaviour is best served by an 8-16 KB L1;
+//     compress is the only integer application that improves past 16 KB;
+//   - stereo's TPI keeps falling until a 48 KB L1; appcg drops sharply once
+//     its two hot structures can coexist past 48 KB; swim improves steadily;
+//     applu misses ~9% at 8 KB and still ~8% at 64 KB with most of those
+//     misses missing the full 128 KB structure as well;
+//   - compress's loads+stores are under 10% of its instruction mix, so its
+//     large TPImiss gains barely move its TPI;
+//   - most applications' ILP is exhausted by a 64-entry issue queue;
+//     compress keeps gaining to 128 entries; radar, fpppp and appcg are
+//     dependence-chain-bound and favour the fastest 16-entry clock;
+//   - turb3d alternates between long (multi-million-instruction) phases
+//     favouring 64 and 128 entries; vortex alternates between 16- and
+//     64-entry-favouring behaviour on a regular ~15x2000-instruction period
+//     in some stretches and irregularly in others.
+
+const kb = 1024
+const mb = 1024 * 1024
+
+// Latency mixes: integer codes are ALU-dominated with some address
+// arithmetic and (perfect-cache) 2-cycle loads; floating-point codes carry
+// 4-cycle FP pipes and occasional long divides.
+var (
+	intLats = []LatComponent{{Cycles: 1, Weight: 0.72}, {Cycles: 2, Weight: 0.23}, {Cycles: 4, Weight: 0.05}}
+	fpLats  = []LatComponent{{Cycles: 1, Weight: 0.30}, {Cycles: 2, Weight: 0.25}, {Cycles: 4, Weight: 0.40}, {Cycles: 12, Weight: 0.05}}
+)
+
+// srcTypical: most instructions have 1-2 register sources.
+var srcTypical = [3]float64{0.15, 0.45, 0.40}
+
+func stable(src [3]float64, dists []GeomComponent, lats []LatComponent) ILPProfile {
+	return ILPProfile{Base: ILPParams{SrcWeights: src, Dists: dists, Lats: lats}}
+}
+
+func d2(m1, w1, m2, w2 float64) []GeomComponent {
+	return []GeomComponent{{Mean: m1, Weight: w1}, {Mean: m2, Weight: w2}}
+}
+
+// bursty builds the micro-phased stream most applications use: short
+// dependence-chain stretches alternating with parallel bursts every `period`
+// dynamic instructions. Real programs interleave loop-carried recurrences
+// with independent work at exactly this granularity, which is what makes a
+// 16-entry window starve (it cannot reach past a stalled chain into the next
+// burst) while a 64-entry window runs near the stream's ILP limit — the
+// shape of the paper's Figure 10 curves.
+func bursty(chain, par []GeomComponent, lats []LatComponent, period int64) ILPProfile {
+	return ILPProfile{
+		Base: ILPParams{SrcWeights: [3]float64{0, 0.45, 0.55}, Dists: chain, Lats: lats},
+		Alt:  &ILPParams{SrcWeights: [3]float64{0.30, 0.45, 0.25}, Dists: par, Lats: lats},
+		Kind: PhaseRegular, PeriodInstrs: period,
+	}
+}
+
+var registry = []Benchmark{
+	// ---------------- SPECint95 ----------------
+	{
+		Name: "go", Suite: SPECint95,
+		// No Mem profile: the paper could not instrument go with Atom,
+		// so it appears only in the instruction-queue experiment.
+		ILP: bursty(d2(1.4, 0.88, 4, 0.12), d2(10, 0.65, 22, 0.35), intLats, 65),
+	},
+	{
+		Name: "m88ksim", Suite: SPECint95,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.30, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 6 * kb, Weight: 0.982, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 96 * kb, Weight: 0.015, Run: 4},
+				{Name: "big", Kind: RandomRegion, Bytes: 512 * kb, Weight: 0.003, Run: 2},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(12, 0.6, 28, 0.4), intLats, 55),
+	},
+	{
+		Name: "gcc", Suite: SPECint95,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.30, WriteFrac: 0.32,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 7 * kb, Weight: 0.963, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 160 * kb, Weight: 0.032, Run: 3},
+				{Name: "big", Kind: RandomRegion, Bytes: 1 * mb, Weight: 0.005, Run: 2},
+			},
+		},
+		ILP: bursty(d2(1.4, 0.87, 4, 0.13), d2(10, 0.6, 24, 0.4), intLats, 60),
+	},
+	{
+		Name: "compress", Suite: SPECint95,
+		Mem: &MemProfile{
+			// Loads and stores are under 10% of compress's mix
+			// (paper Section 5.2.3), so cache gains barely move TPI.
+			RefsPerInstr: 0.09, WriteFrac: 0.35,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 4 * kb, Weight: 0.77, Run: 8},
+				{Name: "dict", Kind: RandomRegion, Bytes: 30 * kb, Weight: 0.22, Run: 2},
+				{Name: "big", Kind: RandomRegion, Bytes: 256 * kb, Weight: 0.004, Run: 1},
+			},
+		},
+		ILP: bursty(d2(1.3, 0.92, 4, 0.08), d2(12, 0.55, 28, 0.45), intLats, 45),
+	},
+	{
+		Name: "li", Suite: SPECint95,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.30, WriteFrac: 0.33,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.977, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 64 * kb, Weight: 0.021, Run: 4},
+				{Name: "big", Kind: RandomRegion, Bytes: 256 * kb, Weight: 0.003, Run: 2},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(11, 0.6, 26, 0.4), intLats, 55),
+	},
+	{
+		Name: "ijpeg", Suite: SPECint95,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.22, WriteFrac: 0.28,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.973, Run: 12},
+				{Name: "image", Kind: StreamRegion, Bytes: 2 * mb, Weight: 0.005, StrideBytes: 16},
+				{Name: "mid", Kind: RandomRegion, Bytes: 128 * kb, Weight: 0.022, Run: 6},
+			},
+		},
+		ILP: bursty(d2(1.8, 0.85, 5, 0.15), d2(12, 0.6, 28, 0.4), intLats, 50),
+	},
+	{
+		Name: "perl", Suite: SPECint95,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.33, WriteFrac: 0.32,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.971, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 128 * kb, Weight: 0.024, Run: 3},
+				{Name: "big", Kind: RandomRegion, Bytes: 512 * kb, Weight: 0.005, Run: 2},
+			},
+		},
+		ILP: bursty(d2(1.4, 0.87, 4, 0.13), d2(10, 0.6, 24, 0.4), intLats, 65),
+	},
+	{
+		Name: "vortex", Suite: SPECint95,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.30, WriteFrac: 0.35,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.947, Run: 6},
+				{Name: "db", Kind: RandomRegion, Bytes: 200 * kb, Weight: 0.043, Run: 3},
+				{Name: "big", Kind: RandomRegion, Bytes: 1 * mb, Weight: 0.011, Run: 2},
+			},
+		},
+		// Section 6 / Figure 13: vortex alternates between 16- and
+		// 64-entry-favouring behaviour — regularly (period ~15
+		// intervals of 2000 instructions) in some stretches,
+		// irregularly in others.
+		ILP: ILPProfile{
+			Base: ILPParams{SrcWeights: srcTypical, Dists: d2(2, 0.70, 12, 0.30), Lats: intLats},
+			Alt:  &ILPParams{SrcWeights: [3]float64{0.035, 0.485, 0.48}, Dists: d2(4, 0.80, 12, 0.20), Lats: intLats},
+			Kind: PhaseComposite, PeriodInstrs: 30000, SuperPeriodInstrs: 1200000,
+		},
+	},
+
+	// ---------------- CMU suite ----------------
+	{
+		Name: "airshed", Suite: CMU, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.33, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.72, Run: 5},
+				{Name: "plume", Kind: LoopRegion, Bytes: 20 * kb, Weight: 0.15, StrideBytes: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 64 * kb, Weight: 0.06, Run: 4},
+				{Name: "grid", Kind: StreamRegion, Bytes: 4 * mb, Weight: 0.04, StrideBytes: 8},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(10, 0.6, 24, 0.4), fpLats, 50),
+	},
+	{
+		Name: "stereo", Suite: CMU, FloatingPoint: true,
+		Mem: &MemProfile{
+			// Stereo's disparity windows want a ~44 KB L1; its TPI
+			// curve does not flatten until 48 KB (Section 5.2.2).
+			RefsPerInstr: 0.44, WriteFrac: 0.25,
+			Regions: []Region{
+				{Name: "window", Kind: LoopRegion, Bytes: 36 * kb, Weight: 0.70, StrideBytes: 8},
+				{Name: "hot", Kind: RandomRegion, Bytes: 4 * kb, Weight: 0.28, Run: 8},
+				{Name: "frame", Kind: RandomRegion, Bytes: 384 * kb, Weight: 0.02, Run: 2},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(11, 0.6, 26, 0.4), fpLats, 50),
+	},
+	{
+		Name: "radar", Suite: CMU, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.30, WriteFrac: 0.28,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.936, Run: 6},
+				{Name: "mid", Kind: RandomRegion, Bytes: 64 * kb, Weight: 0.057, Run: 4},
+				{Name: "pulse", Kind: StreamRegion, Bytes: 1 * mb, Weight: 0.007, StrideBytes: 16},
+			},
+		},
+		// FFT butterflies: short recurrences, chain-bound — favours the
+		// fast 16-entry queue (Figure 10b).
+		ILP: stable([3]float64{0.11, 0.40, 0.49}, d2(3, 0.70, 12, 0.30),
+			[]LatComponent{{Cycles: 1, Weight: 0.30}, {Cycles: 2, Weight: 0.40}, {Cycles: 4, Weight: 0.30}}),
+	},
+
+	// ---------------- NAS ----------------
+	{
+		Name: "appcg", Suite: NAS, FloatingPoint: true,
+		Mem: &MemProfile{
+			// Two frequently accessed structures that only coexist
+			// in caches larger than 48 KB (Section 5.2.2's "sharp
+			// drop once L1 cache size is increased beyond 48KB").
+			RefsPerInstr: 0.30, WriteFrac: 0.25,
+			Regions: []Region{
+				{Name: "matrix", Kind: LoopRegion, Bytes: 30 * kb, Weight: 0.30, StrideBytes: 8},
+				{Name: "vector", Kind: RandomRegion, Bytes: 22 * kb, Weight: 0.38, Run: 4},
+				{Name: "hot", Kind: RandomRegion, Bytes: 4 * kb, Weight: 0.31, Run: 8},
+				{Name: "big", Kind: RandomRegion, Bytes: 512 * kb, Weight: 0.01, Run: 2},
+			},
+		},
+		// Sparse CG: long dependence recurrences through FP adds —
+		// dependence-bound at any window size, so the 16-entry clock
+		// wins by nearly the full cycle-time ratio (Figure 11's 28%).
+		ILP: stable([3]float64{0.008, 0.45, 0.542}, d2(2, 0.85, 6, 0.15),
+			[]LatComponent{{Cycles: 1, Weight: 0.32}, {Cycles: 2, Weight: 0.38}, {Cycles: 4, Weight: 0.30}}),
+	},
+
+	// ---------------- SPECfp95 ----------------
+	{
+		Name: "tomcatv", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.35, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.956, Run: 8},
+				{Name: "mesh", Kind: StreamRegion, Bytes: 4 * mb, Weight: 0.020, StrideBytes: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 80 * kb, Weight: 0.023, Run: 4},
+			},
+		},
+		ILP: bursty(d2(1.6, 0.85, 5, 0.15), d2(12, 0.6, 28, 0.4), fpLats, 50),
+	},
+	{
+		Name: "swim", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			// Shallow-water stencils: a ~52 KB set of hot planes
+			// rewards L1 growth all the way to 56-64 KB.
+			RefsPerInstr: 0.36, WriteFrac: 0.35,
+			Regions: []Region{
+				{Name: "planes", Kind: RandomRegion, Bytes: 48 * kb, Weight: 0.190, Run: 4},
+				{Name: "hot", Kind: RandomRegion, Bytes: 4 * kb, Weight: 0.799, Run: 8},
+				{Name: "ocean", Kind: StreamRegion, Bytes: 8 * mb, Weight: 0.011, StrideBytes: 8},
+			},
+		},
+		ILP: bursty(d2(1.6, 0.85, 5, 0.15), d2(12, 0.6, 30, 0.4), fpLats, 55),
+	},
+	{
+		Name: "su2cor", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.34, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.924, Run: 6},
+				{Name: "mid", Kind: RandomRegion, Bytes: 72 * kb, Weight: 0.067, Run: 3},
+				{Name: "lattice", Kind: StreamRegion, Bytes: 4 * mb, Weight: 0.009, StrideBytes: 16},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(11, 0.6, 26, 0.4), fpLats, 50),
+	},
+	{
+		Name: "hydro2d", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.34, WriteFrac: 0.32,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.916, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 64 * kb, Weight: 0.074, Run: 4},
+				{Name: "grid", Kind: StreamRegion, Bytes: 2 * mb, Weight: 0.010, StrideBytes: 8},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(10, 0.6, 24, 0.4), fpLats, 50),
+	},
+	{
+		Name: "mgrid", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.36, WriteFrac: 0.28,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.909, Run: 10},
+				{Name: "mid", Kind: RandomRegion, Bytes: 56 * kb, Weight: 0.082, Run: 6},
+				{Name: "grid", Kind: StreamRegion, Bytes: 8 * mb, Weight: 0.009, StrideBytes: 8},
+			},
+		},
+		ILP: bursty(d2(1.6, 0.85, 5, 0.15), d2(11, 0.6, 26, 0.4), fpLats, 50),
+	},
+	{
+		Name: "applu", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			// The paper: 9% L1 miss ratio at 8 KB dropping only to 8%
+			// at 64 KB, with most misses missing the 128 KB structure
+			// as well — the 700 KB working set simply does not fit.
+			RefsPerInstr: 0.33, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "blocks", Kind: RandomRegion, Bytes: 700 * kb, Weight: 0.037, Run: 2},
+				{Name: "hot", Kind: RandomRegion, Bytes: 6 * kb, Weight: 0.953, Run: 10},
+				{Name: "mid", Kind: RandomRegion, Bytes: 100 * kb, Weight: 0.009, Run: 4},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(10, 0.6, 24, 0.4), fpLats, 55),
+	},
+	{
+		Name: "turb3d", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.32, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.960, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 120 * kb, Weight: 0.032, Run: 4},
+				{Name: "cube", Kind: RandomRegion, Bytes: 512 * kb, Weight: 0.008, Run: 2},
+			},
+		},
+		// Figure 12: long multi-million-instruction phases; in one kind
+		// the 64-entry queue wins by ~10%, in the other the 128-entry
+		// window exposes far-apart ILP and wins by ~20%.
+		ILP: ILPProfile{
+			Base: ILPParams{SrcWeights: srcTypical, Dists: d2(4, 0.60, 22, 0.40), Lats: fpLats},
+			Alt: &ILPParams{SrcWeights: [3]float64{0.05, 0.42, 0.53}, Dists: d2(1.3, 0.93, 4, 0.07),
+				Lats: []LatComponent{{Cycles: 1, Weight: 0.45}, {Cycles: 2, Weight: 0.40}, {Cycles: 4, Weight: 0.15}}},
+			Kind: PhaseLongBlocks, PeriodInstrs: 2000000,
+		},
+	},
+	{
+		Name: "apsi", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.34, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 8 * kb, Weight: 0.940, Run: 8},
+				{Name: "mid", Kind: RandomRegion, Bytes: 90 * kb, Weight: 0.055, Run: 4},
+				{Name: "air", Kind: StreamRegion, Bytes: 2 * mb, Weight: 0.005, StrideBytes: 16},
+			},
+		},
+		ILP: bursty(d2(1.5, 0.85, 5, 0.15), d2(11, 0.6, 26, 0.4), fpLats, 55),
+	},
+	{
+		Name: "fpppp", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			// Tiny working set: the fastest clock always wins the
+			// cache tradeoff for fpppp.
+			RefsPerInstr: 0.42, WriteFrac: 0.25,
+			Regions: []Region{
+				{Name: "hot", Kind: RandomRegion, Bytes: 6 * kb, Weight: 0.990, Run: 12},
+				{Name: "mid", Kind: RandomRegion, Bytes: 48 * kb, Weight: 0.010, Run: 6},
+			},
+		},
+		// Enormous basic blocks but tight FP dependence chains: ILP is
+		// exhausted by 16 entries (Figure 10b / 11's 21% gain).
+		ILP: stable([3]float64{0.030, 0.45, 0.520}, d2(3, 0.75, 10, 0.25),
+			[]LatComponent{{Cycles: 1, Weight: 0.45}, {Cycles: 2, Weight: 0.35}, {Cycles: 4, Weight: 0.20}}),
+	},
+	{
+		Name: "wave5", Suite: SPECfp95, FloatingPoint: true,
+		Mem: &MemProfile{
+			RefsPerInstr: 0.34, WriteFrac: 0.30,
+			Regions: []Region{
+				{Name: "field", Kind: LoopRegion, Bytes: 30 * kb, Weight: 0.16, StrideBytes: 8},
+				{Name: "hot2", Kind: RandomRegion, Bytes: 4 * kb, Weight: 0.81, Run: 8},
+				{Name: "particles", Kind: StreamRegion, Bytes: 4 * mb, Weight: 0.03, StrideBytes: 16},
+			},
+		},
+		ILP: bursty(d2(1.6, 0.85, 5, 0.15), d2(11, 0.6, 26, 0.4), fpLats, 50),
+	},
+}
+
+func init() {
+	for _, b := range registry {
+		if err := b.Validate(); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+# capsim build/test/bench entry points. `make ci` is the gate every change
+# must pass; `make bench` regenerates BENCH_sweep.json (serial vs parallel
+# full-evaluation runs, each in a fresh process so the study memos are cold).
+
+GO ?= go
+
+.PHONY: all build test short race vet fmt ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt vet build race
+
+# bench writes BENCH_sweep.json: a two-element array holding the full
+# -experiment all evaluation measured at -parallel 1 and at -parallel 8,
+# with per-experiment wall time and allocation deltas. Compare
+# total_wall_ns between the elements for the sweep speedup (on a
+# single-core box the two legs tie — the pool adds no overhead — while the
+# parallel leg still exercises the full worker machinery).
+bench:
+	$(GO) run ./cmd/capsim -experiment all -parallel 1 -bench-json /tmp/capsim_bench_serial.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment all -parallel 8 -bench-json /tmp/capsim_bench_parallel.json >/dev/null
+	{ printf '[\n'; cat /tmp/capsim_bench_serial.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_parallel.json; printf ']\n'; } > BENCH_sweep.json
+	@echo "wrote BENCH_sweep.json"
+
+clean:
+	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json

@@ -6,17 +6,52 @@
 //	capsim -list
 //	capsim -experiment fig9
 //	capsim -experiment all -cache-refs 2000000 -queue-instrs 1000000
+//	capsim -experiment all -parallel 8 -bench-json BENCH_sweep.json
+//	capsim -experiment fig7 -parallel 1 -cpuprofile fig7.pprof
+//
+// Output is byte-identical at every -parallel setting: simulation jobs derive
+// their random streams from (seed, benchmark, purpose) and results are
+// collected by grid index, so the worker count changes only the wall time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"capsim/internal/experiments"
+	"capsim/internal/sweep"
 	"capsim/internal/tech"
 )
+
+// benchRecord is one experiment's measured cost for -bench-json.
+type benchRecord struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNS int64  `json:"wall_ns"`
+	// Allocs and AllocBytes are process-wide deltas over the experiment
+	// (runtime.ReadMemStats), so they attribute every allocation made by the
+	// experiment's goroutines, including the sweep workers.
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// benchReport is the top-level -bench-json document.
+type benchReport struct {
+	Generated   string        `json:"generated"`
+	Parallel    int           `json:"parallel"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
+	Seed        uint64        `json:"seed"`
+	CacheRefs   int64         `json:"cache_refs"`
+	QueueInstrs int64         `json:"queue_instrs"`
+	Experiments []benchRecord `json:"experiments"`
+	TotalWallNS int64         `json:"total_wall_ns"`
+}
 
 func main() {
 	var (
@@ -29,6 +64,9 @@ func main() {
 		interval    = flag.Int64("interval", 2_000, "interval length in instructions (Section 6 studies)")
 		penalty     = flag.Int("switch-penalty", -1, "clock-switch penalty in cycles (-1 = default)")
 		feature     = flag.Float64("feature", 0.18, "feature size in microns (0.25, 0.18, 0.12)")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = serial; output is identical at any setting)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +80,22 @@ func main() {
 	if *experiment == "" {
 		fmt.Fprintln(os.Stderr, "capsim: -experiment required (or -list); e.g. capsim -experiment fig9")
 		os.Exit(2)
+	}
+
+	sweep.SetDefaultWorkers(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -58,14 +112,55 @@ func main() {
 	if *experiment == "all" {
 		ids = experiments.IDs()
 	}
+
+	report := benchReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Parallel:    sweep.DefaultWorkers(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        cfg.Seed,
+		CacheRefs:   cfg.CacheRefs,
+		QueueInstrs: cfg.QueueInstrs,
+	}
+	var before, after runtime.MemStats
 	for _, id := range ids {
+		if *benchJSON != "" {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		fmt.Print(res.Render())
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", id, wall.Seconds())
+		if *benchJSON != "" {
+			runtime.ReadMemStats(&after)
+			title, _ := experiments.Title(id)
+			report.Experiments = append(report.Experiments, benchRecord{
+				ID:         id,
+				Title:      title,
+				WallNS:     wall.Nanoseconds(),
+				Allocs:     after.Mallocs - before.Mallocs,
+				AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			})
+			report.TotalWallNS += wall.Nanoseconds()
+		}
+	}
+
+	if *benchJSON != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*benchJSON, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, parallel=%d)\n", *benchJSON, len(report.Experiments), report.Parallel)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"capsim/internal/cacti"
+	"capsim/internal/memo"
 	"capsim/internal/tech"
 	"capsim/internal/wire"
 )
@@ -336,18 +337,22 @@ func (h *Hierarchy) BlockCount() int {
 }
 
 // CheckExclusive verifies the exclusivity invariant: no tag appears twice
-// within a set. It returns an error naming the first violation.
+// within a set. It returns an error naming the first violation. The scan is
+// allocation-free: a set holds at most Increments*IncrementAssoc ways (32 for
+// the paper's geometry), so the pairwise comparison is cheaper than building
+// a map per set — the old implementation allocated one map per set per call,
+// which dominated the interval-policy hot loop's allocation profile.
 func (h *Hierarchy) CheckExclusive() error {
 	for s, set := range h.sets {
-		seen := make(map[uint64]int, len(set))
 		for i := range set {
 			if !set[i].valid {
 				continue
 			}
-			if j, dup := seen[set[i].tag]; dup {
-				return fmt.Errorf("cache: set %d holds tag %#x in ways %d and %d", s, set[i].tag, j, i)
+			for j := i + 1; j < len(set); j++ {
+				if set[j].valid && set[j].tag == set[i].tag {
+					return fmt.Errorf("cache: set %d holds tag %#x in ways %d and %d", s, set[i].tag, i, j)
+				}
 			}
-			seen[set[i].tag] = i
 		}
 	}
 	return nil
@@ -390,14 +395,33 @@ const l2FixedNS = 2.0
 // doubling the hang-off relative to a monolithic bank).
 const busLoadPerIncrement = 18.0
 
+// timingKey keys the TimingFor memo; Params is a flat scalar struct, so
+// (Params, k) describes the computation completely.
+type timingKey struct {
+	p Params
+	k int
+}
+
+// timings memoizes TimingFor per (Params, boundary). Every CacheMachine and
+// CombinedMachine construction evaluates the whole boundary table, and a
+// parallel sweep constructs one machine per grid cell; the memo collapses
+// that to one cacti+wire evaluation per distinct geometry. Validation (which
+// panics) runs before entering the memo.
+var timings memo.Memo[timingKey, Timing]
+
 // TimingFor computes the Timing of boundary position k under params p.
 // The global bus is buffered whenever buffering is faster (the paper applies
 // the same rule to its conventional baselines), and the delay-hierarchy
 // property of repeaters means the L1 sees only the bus segments it spans.
+// Results are memoized: the model is pure in (Params, k).
 func TimingFor(p Params, k int) Timing {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	return timings.Get(timingKey{p, k}, func() Timing { return timingFor(p, k) })
+}
+
+func timingFor(p Params, k int) Timing {
 	tp := tech.ForFeature(p.Feature)
 	inc := cacti.Config{SizeBytes: p.IncrementBytes, BlockBytes: p.BlockBytes, Assoc: p.IncrementAssoc}
 	bank := cacti.AccessTime(inc, tp).Total()

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"capsim/internal/cache"
 	"capsim/internal/clock"
+	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -221,24 +223,43 @@ func RunCache(c *CacheMachine, p Policy, intervals, n int64, keepSamples bool) C
 	return res
 }
 
-// ProfileCacheTPI runs each boundary on a fresh hierarchy + trace for the
-// given reference budget (after a warm-up that is discarded) and returns
-// (TPI, TPImiss) by boundary — the process-level profiling pass.
-func ProfileCacheTPI(b workload.Benchmark, seed uint64, p cache.Params, maxBoundary int, warm, refs int64) (tpi, tpiMiss map[int]float64, err error) {
-	tpi = make(map[int]float64, maxBoundary)
-	tpiMiss = make(map[int]float64, maxBoundary)
-	for k := 1; k <= maxBoundary; k++ {
-		m, err := NewCacheMachine(b, seed, p, maxBoundary, k, -1)
-		if err != nil {
-			return nil, nil, err
-		}
-		if warm > 0 {
-			m.RunInterval(warm)
-			m.instrs, m.timeNS, m.missNS = 0, 0, 0
-		}
-		m.RunInterval(refs)
-		tpi[k] = m.TotalTPI()
-		tpiMiss[k] = m.TotalTPIMiss()
+// ProfileCacheBoundary runs ONE boundary position on a fresh hierarchy +
+// trace for the given reference budget (after a warm-up that is discarded)
+// and returns its (TPI, TPImiss). Each call builds its own machine and
+// derives its own rng streams from (seed, benchmark name), so calls for
+// distinct (benchmark, boundary) cells are independent and may execute
+// concurrently — this is the unit job of the parallel sweep engine.
+func ProfileCacheBoundary(b workload.Benchmark, seed uint64, p cache.Params, maxBoundary, k int, warm, refs int64) (tpi, tpiMiss float64, err error) {
+	m, err := NewCacheMachine(b, seed, p, maxBoundary, k, -1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if warm > 0 {
+		m.RunInterval(warm)
+		m.instrs, m.timeNS, m.missNS = 0, 0, 0
+	}
+	m.RunInterval(refs)
+	return m.TotalTPI(), m.TotalTPIMiss(), nil
+}
+
+// ProfileCacheTPI profiles every boundary for one application — the
+// process-level profiling pass. Boundaries are swept in parallel across the
+// sweep pool; results are dense slices of length maxBoundary+1 indexed by
+// boundary k (slot 0 is +Inf so SelectBestIndex can never choose it).
+func ProfileCacheTPI(b workload.Benchmark, seed uint64, p cache.Params, maxBoundary int, warm, refs int64) (tpi, tpiMiss []float64, err error) {
+	type cell struct{ tpi, miss float64 }
+	cells, err := sweep.Run(maxBoundary, func(i int) (cell, error) {
+		t, m, err := ProfileCacheBoundary(b, seed, p, maxBoundary, i+1, warm, refs)
+		return cell{t, m}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tpi = make([]float64, maxBoundary+1)
+	tpiMiss = make([]float64, maxBoundary+1)
+	tpi[0], tpiMiss[0] = math.Inf(1), math.Inf(1)
+	for i, c := range cells {
+		tpi[i+1], tpiMiss[i+1] = c.tpi, c.miss
 	}
 	return tpi, tpiMiss, nil
 }

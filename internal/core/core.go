@@ -78,21 +78,25 @@ type Monitor struct {
 	maxLen  int
 }
 
-// NewMonitor creates a monitor retaining up to n samples.
+// NewMonitor creates a monitor retaining up to n samples. The window is
+// preallocated at its retention capacity so Record never allocates: it is
+// called once per simulated interval by every machine's run loop.
 func NewMonitor(n int) *Monitor {
 	if n < 1 {
 		n = 1
 	}
-	return &Monitor{maxLen: n}
+	return &Monitor{maxLen: n, Window: make([]Sample, 0, n)}
 }
 
 // Record appends a sample, evicting the oldest beyond the retention window.
+// Eviction happens before the append so the slice never exceeds its
+// preallocated capacity — Record stays allocation-free in steady state.
 func (m *Monitor) Record(s Sample) {
-	m.Window = append(m.Window, s)
-	if len(m.Window) > m.maxLen {
-		copy(m.Window, m.Window[1:])
-		m.Window = m.Window[:m.maxLen]
+	if len(m.Window) >= m.maxLen {
+		n := copy(m.Window, m.Window[len(m.Window)-m.maxLen+1:])
+		m.Window = m.Window[:n]
 	}
+	m.Window = append(m.Window, s)
 	m.Current = s.Config
 }
 

@@ -144,8 +144,8 @@ func TestProfileQueueTPI(t *testing.T) {
 		t.Fatalf("profile table %v", tpi)
 	}
 	// appcg is dependence-bound: the fast 16-entry clock must win.
-	if SelectBest(tpi) != 0 {
-		t.Errorf("appcg best config %d (table %v), want 16 entries", SelectBest(tpi), tpi)
+	if SelectBestIndex(tpi) != 0 {
+		t.Errorf("appcg best config %d (table %v), want 16 entries", SelectBestIndex(tpi), tpi)
 	}
 }
 
@@ -243,7 +243,7 @@ func TestProfileCacheTPIShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := SelectBest(tpi)
+	best := SelectBestIndex(tpi)
 	if best < 5 {
 		t.Errorf("stereo best boundary k=%d, want >= 5 (48KB+)", best)
 	}
@@ -264,7 +264,7 @@ func TestQueueFigureShapeAnchors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		best := sizes[SelectBest(tpi)]
+		best := sizes[SelectBestIndex(tpi)]
 		if !wantBest(best) {
 			t.Errorf("%s best queue %d entries, want %s (table %v)", app, best, desc, tpi)
 		}

@@ -51,6 +51,27 @@ func SelectBest(tpiByConfig map[int]float64) int {
 	return best
 }
 
+// SelectBestIndex is SelectBest for the dense profiling tables the parallel
+// sweep produces: it returns the index of the smallest finite TPI, breaking
+// ties toward the smaller (faster-clock) index. Non-finite entries (the +Inf
+// padding in slot 0 of cache tables, whose boundaries are 1-based) are
+// skipped. It panics if no finite entry exists.
+func SelectBestIndex(tpiByConfig []float64) int {
+	best, bestTPI := -1, math.Inf(1)
+	for id, tpi := range tpiByConfig {
+		if math.IsInf(tpi, 0) || math.IsNaN(tpi) {
+			continue
+		}
+		if tpi < bestTPI || best < 0 {
+			best, bestTPI = id, tpi
+		}
+	}
+	if best < 0 {
+		panic("core: SelectBestIndex on empty table")
+	}
+	return best
+}
+
 // IntervalPolicy is the Section 6 extension: a hardware predictor that reads
 // the performance-monitoring hardware every interval, predicts the
 // best-performing configuration for the next interval, and switches when

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 )
 
@@ -69,6 +70,29 @@ func TestSelectBestPanicsEmpty(t *testing.T) {
 		}
 	}()
 	SelectBest(nil)
+}
+
+func TestSelectBestIndex(t *testing.T) {
+	if got := SelectBestIndex([]float64{0.5, 0.3, 0.9}); got != 1 {
+		t.Errorf("best = %d, want 1", got)
+	}
+	// Ties break toward the smaller index (faster clock).
+	if got := SelectBestIndex([]float64{0.4, 0.3, 0.3}); got != 1 {
+		t.Errorf("tie best = %d, want 1", got)
+	}
+	// Inf/NaN padding slots (boundary 0 in the cache tables) are skipped.
+	if got := SelectBestIndex([]float64{math.Inf(1), 0.7, 0.6, math.NaN()}); got != 2 {
+		t.Errorf("padded best = %d, want 2", got)
+	}
+}
+
+func TestSelectBestIndexPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SelectBestIndex([]float64{math.Inf(1)})
 }
 
 // feed runs the policy through a synthetic sequence where trueTPI gives each

@@ -6,6 +6,7 @@ import (
 	"capsim/internal/clock"
 	"capsim/internal/ooo"
 	"capsim/internal/palacharla"
+	"capsim/internal/sweep"
 	"capsim/internal/tech"
 	"capsim/internal/workload"
 )
@@ -188,19 +189,26 @@ func RunQueue(q *QueueMachine, p Policy, intervals, n int64, keepSamples bool) R
 	return res
 }
 
-// ProfileQueueTPI runs each configuration on a fresh machine + stream for
-// the given instruction budget and returns TPI by configuration ID — the
-// profiling pass the paper's process-level scheme assumes a CAP compiler or
-// runtime performs.
-func ProfileQueueTPI(b workload.Benchmark, seed uint64, sizes []int, instrs int64, f tech.FeatureSize) (map[int]float64, error) {
-	out := make(map[int]float64, len(sizes))
-	for i := range sizes {
-		m, err := NewQueueMachine(b, seed, sizes, i, -1, f)
-		if err != nil {
-			return nil, err
-		}
-		m.RunInterval(instrs)
-		out[i] = m.TotalTPI()
+// ProfileQueueConfig runs ONE queue configuration on a fresh machine +
+// stream for the given instruction budget and returns its TPI. Like
+// ProfileCacheBoundary, it is the independent unit job of the parallel
+// sweep: all state (core, clock, workload rng) is private to the call.
+func ProfileQueueConfig(b workload.Benchmark, seed uint64, sizes []int, i int, instrs int64, f tech.FeatureSize) (float64, error) {
+	m, err := NewQueueMachine(b, seed, sizes, i, -1, f)
+	if err != nil {
+		return 0, err
 	}
-	return out, nil
+	m.RunInterval(instrs)
+	return m.TotalTPI(), nil
+}
+
+// ProfileQueueTPI runs each configuration on a fresh machine + stream for
+// the given instruction budget and returns TPI as a dense slice indexed by
+// configuration ID — the profiling pass the paper's process-level scheme
+// assumes a CAP compiler or runtime performs. Configurations are swept in
+// parallel across the sweep pool.
+func ProfileQueueTPI(b workload.Benchmark, seed uint64, sizes []int, instrs int64, f tech.FeatureSize) ([]float64, error) {
+	return sweep.Run(len(sizes), func(i int) (float64, error) {
+		return ProfileQueueConfig(b, seed, sizes, i, instrs, f)
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"capsim/internal/cache"
 	"capsim/internal/core"
 	"capsim/internal/metrics"
+	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -45,16 +46,16 @@ func runIntervalPolicy(cfg Config, app string, sizes []int, p core.Policy, inter
 
 // oracleTPI computes the per-interval oracle: the TPI of always running the
 // better of the two configurations each interval, ignoring switch costs — a
-// lower bound no realizable predictor can beat.
+// lower bound no realizable predictor can beat. The two traces are
+// independent simulations and run in parallel.
 func oracleTPI(cfg Config, app string, sizes []int, intervals int64) (float64, error) {
-	a, err := intervalTrace(cfg, app, sizes[0], intervals)
+	traces, err := sweep.Run(2, func(i int) ([]float64, error) {
+		return intervalTrace(cfg, app, sizes[i], intervals)
+	})
 	if err != nil {
 		return 0, err
 	}
-	b, err := intervalTrace(cfg, app, sizes[1], intervals)
-	if err != nil {
-		return 0, err
-	}
+	a, b := traces[0], traces[1]
 	var sum float64
 	for i := range a {
 		if a[i] < b[i] {
@@ -73,37 +74,57 @@ func ablationInterval(cfg Config) (Result, error) {
 		Title:   "TPI (ns) by configuration-management policy",
 		Columns: []string{"benchmark", "configs", "best fixed", "interval-adaptive", "per-interval oracle", "switches", "adaptive vs fixed"},
 	}
-	for _, app := range []string{"turb3d", "vortex"} {
+	apps := []string{"turb3d", "vortex"}
+	type row struct {
+		sizes     []int
+		fixedBest float64
+		adaptive  core.RunResult
+		oracle    float64
+	}
+	// The per-application studies are independent; within one, the fixed
+	// baselines, the adaptive run and the oracle are independent too. Fan
+	// all of it out (nested sweeps are safe) and assemble rows in app order.
+	rows, err := sweep.Run(len(apps), func(ai int) (row, error) {
+		app := apps[ai]
 		sizes, err := intervalCandidates(app)
 		if err != nil {
-			return Result{}, err
+			return row{}, err
 		}
 		// Best fixed: run both configurations to completion, keep the
 		// better (the process-level choice between the two).
-		fixedBest := 0.0
-		for i := range sizes {
+		fixed, err := sweep.Run(len(sizes), func(i int) (float64, error) {
 			r, err := runIntervalPolicy(cfg, app, sizes, core.FixedPolicy{Config: i}, intervals)
-			if err != nil {
-				return Result{}, err
-			}
-			if fixedBest == 0 || r.TPI < fixedBest {
-				fixedBest = r.TPI
+			return r.TPI, err
+		})
+		if err != nil {
+			return row{}, err
+		}
+		fixedBest := fixed[0]
+		for _, v := range fixed[1:] {
+			if v < fixedBest {
+				fixedBest = v
 			}
 		}
 		adaptive, err := runIntervalPolicy(cfg, app, sizes,
 			&core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
 		if err != nil {
-			return Result{}, err
+			return row{}, err
 		}
 		oracle, err := oracleTPI(cfg, app, sizes, intervals)
 		if err != nil {
-			return Result{}, err
+			return row{}, err
 		}
+		return row{sizes: sizes, fixedBest: fixedBest, adaptive: adaptive, oracle: oracle}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for ai, r := range rows {
 		t.Rows = append(t.Rows, []string{
-			app, fmt.Sprintf("%v", sizes),
-			metrics.F(fixedBest), metrics.F(adaptive.TPI), metrics.F(oracle),
-			fmt.Sprintf("%d", adaptive.Switches),
-			metrics.Pct(metrics.Reduction(fixedBest, adaptive.TPI)),
+			apps[ai], fmt.Sprintf("%v", r.sizes),
+			metrics.F(r.fixedBest), metrics.F(r.adaptive.TPI), metrics.F(r.oracle),
+			fmt.Sprintf("%d", r.adaptive.Switches),
+			metrics.Pct(metrics.Reduction(r.fixedBest, r.adaptive.TPI)),
 		})
 	}
 	return Result{
@@ -124,15 +145,20 @@ func ablationSwitch(cfg Config) (Result, error) {
 		XLabel: "switch penalty (cycles)",
 		YLabel: "TPI (ns)",
 	}
-	var xs, ys, sw []float64
-	for _, pen := range []int{0, 10, 20, 50, 100, 200} {
+	// Each penalty point is an independent simulation: sweep them in
+	// parallel, collecting by penalty index.
+	penalties := []int{0, 10, 20, 50, 100, 200}
+	runs, err := sweep.Run(len(penalties), func(i int) (core.RunResult, error) {
 		c := cfg
-		c.PenaltyCycles = pen
-		r, err := runIntervalPolicy(c, "vortex", sizes, &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
-		if err != nil {
-			return Result{}, err
-		}
-		xs = append(xs, float64(pen))
+		c.PenaltyCycles = penalties[i]
+		return runIntervalPolicy(c, "vortex", sizes, &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var xs, ys, sw []float64
+	for i, r := range runs {
+		xs = append(xs, float64(penalties[i]))
 		ys = append(ys, r.TPI)
 		sw = append(sw, float64(r.Switches))
 	}
@@ -163,27 +189,30 @@ func ablationIncrement(cfg Config) (Result, error) {
 		Title:   "Adaptive TPI (ns) by increment design",
 		Columns: []string{"benchmark", "8KB 2-way x16 (paper)", "4KB 1-way x32 (alternative)", "difference"},
 	}
-	for _, app := range apps {
-		b, err := workload.ByName(app)
+	// Sweep the (application x design) grid; ProfileCacheTPI additionally
+	// parallelizes its boundaries internally. Column 0 is the paper's 8KB
+	// 2-way design, column 1 the rejected 4KB direct-mapped alternative
+	// (same 64 KB maximum L1: 16 increments of 4 KB).
+	grid, err := sweep.Grid(len(apps), 2, func(a, d int) (float64, error) {
+		b, err := workload.ByName(apps[a])
 		if err != nil {
-			return Result{}, err
+			return 0, err
 		}
-		best := func(p cache.Params, maxB int) (float64, error) {
-			tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, p, maxB, cfg.CacheWarmRefs, cfg.CacheRefs)
-			if err != nil {
-				return 0, err
-			}
-			return tpi[core.SelectBest(tpi)], nil
+		p, maxB := cfg.CacheParams, core.PaperMaxBoundary
+		if d == 1 {
+			p, maxB = alt, 16
 		}
-		paper, err := best(cfg.CacheParams, core.PaperMaxBoundary)
+		tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, p, maxB, cfg.CacheWarmRefs, cfg.CacheRefs)
 		if err != nil {
-			return Result{}, err
+			return 0, err
 		}
-		// Same 64 KB maximum L1: 16 increments of 4 KB.
-		altTPI, err := best(alt, 16)
-		if err != nil {
-			return Result{}, err
-		}
+		return tpi[core.SelectBestIndex(tpi)], nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for a, app := range apps {
+		paper, altTPI := grid[a][0], grid[a][1]
 		t.Rows = append(t.Rows, []string{
 			app, metrics.F(paper), metrics.F(altTPI),
 			metrics.Pct(metrics.Reduction(altTPI, paper)),
@@ -206,16 +235,22 @@ func ablationPower(cfg Config) (Result, error) {
 		Title:   "Low-power mode vs performance mode (cache hierarchy)",
 		Columns: []string{"benchmark", "mode", "boundary", "TPI (ns)", "active L1 fraction", "energy proxy/instr"},
 	}
-	for _, app := range apps {
-		b, err := workload.ByName(app)
+	// Per-application profiling passes are independent; sweep them and
+	// assemble rows in app order.
+	tables, err := sweep.Run(len(apps), func(a int) ([]float64, error) {
+		b, err := workload.ByName(apps[a])
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, cfg.CacheParams, core.PaperMaxBoundary, cfg.CacheWarmRefs, cfg.CacheRefs)
-		if err != nil {
-			return Result{}, err
-		}
-		bestK := core.SelectBest(tpi)
+		return tpi, err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for a, app := range apps {
+		tpi := tables[a]
+		bestK := core.SelectBestIndex(tpi)
 		// Performance mode: the process-level best boundary at its own
 		// (full-rate) clock. Low-power mode: minimum structure (least
 		// switched capacitance) deliberately run on the SLOWEST clock in

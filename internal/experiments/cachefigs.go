@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
+	"math"
 
 	"capsim/internal/core"
+	"capsim/internal/memo"
 	"capsim/internal/metrics"
+	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -16,61 +18,75 @@ func init() {
 }
 
 // cacheStudy is the shared profiling pass behind Figures 7-9: per
-// application, TPI and TPImiss at every boundary position.
+// application, TPI and TPImiss at every boundary position. Tables are dense
+// slices indexed by boundary k (slot 0 is +Inf padding; boundaries are
+// 1-based).
 type cacheStudy struct {
 	apps    []workload.Benchmark
-	tpi     map[string]map[int]float64
-	tpiMiss map[string]map[int]float64
+	tpi     map[string][]float64
+	tpiMiss map[string][]float64
 	// convBest is the boundary whose workload-average TPI is smallest —
 	// the paper's "best-performing conventional configuration".
 	convBest int
 }
 
-var (
-	cacheStudyMu    sync.Mutex
-	cacheStudyCache = map[string]*cacheStudy{}
-)
+// cacheStudies memoizes the profiling pass per configuration key with
+// singleflight semantics: Figures 7, 8 and 9 share one pass, and — unlike
+// the old global-mutex pattern — two *distinct* configurations profile
+// concurrently instead of queueing behind each other for the whole
+// multi-second compute.
+var cacheStudies memo.Memo[string, *cacheStudy]
 
 func cacheStudyKey(cfg Config) string {
 	return fmt.Sprintf("%d/%d/%d/%v/%+v", cfg.Seed, cfg.CacheWarmRefs, cfg.CacheRefs, cfg.Feature, cfg.CacheParams)
 }
 
-// runCacheStudy profiles every application at every boundary (memoized per
-// configuration so Figures 7, 8 and 9 share one pass).
+// runCacheStudy profiles every application at every boundary. The
+// (application x boundary) grid — 21 x 8 for the paper's setup — is fanned
+// out across the sweep pool; every cell builds its own machine and rng
+// streams, and results land at their grid index, so the output is
+// byte-identical at any worker count.
 func runCacheStudy(cfg Config) (*cacheStudy, error) {
-	cacheStudyMu.Lock()
-	defer cacheStudyMu.Unlock()
-	if s, ok := cacheStudyCache[cacheStudyKey(cfg)]; ok {
-		return s, nil
-	}
-	s := &cacheStudy{
-		apps:    workload.CacheApps(),
-		tpi:     map[string]map[int]float64{},
-		tpiMiss: map[string]map[int]float64{},
-	}
-	for _, b := range s.apps {
-		tpi, miss, err := core.ProfileCacheTPI(b, cfg.Seed, cfg.CacheParams, core.PaperMaxBoundary, cfg.CacheWarmRefs, cfg.CacheRefs)
+	return cacheStudies.Do(cacheStudyKey(cfg), func() (*cacheStudy, error) {
+		s := &cacheStudy{
+			apps:    workload.CacheApps(),
+			tpi:     map[string][]float64{},
+			tpiMiss: map[string][]float64{},
+		}
+		nB := core.PaperMaxBoundary
+		type cell struct{ tpi, miss float64 }
+		grid, err := sweep.Grid(len(s.apps), nB, func(a, i int) (cell, error) {
+			tpi, miss, err := core.ProfileCacheBoundary(s.apps[a], cfg.Seed, cfg.CacheParams, nB, i+1, cfg.CacheWarmRefs, cfg.CacheRefs)
+			return cell{tpi, miss}, err
+		})
 		if err != nil {
 			return nil, err
 		}
-		s.tpi[b.Name] = tpi
-		s.tpiMiss[b.Name] = miss
-	}
-	// Best conventional configuration: smallest workload-average TPI.
-	bestK, bestAvg := 0, 0.0
-	for k := 1; k <= core.PaperMaxBoundary; k++ {
-		var sum float64
-		for _, b := range s.apps {
-			sum += s.tpi[b.Name][k]
+		for a, b := range s.apps {
+			tpi := make([]float64, nB+1)
+			miss := make([]float64, nB+1)
+			tpi[0], miss[0] = math.Inf(1), math.Inf(1)
+			for i, c := range grid[a] {
+				tpi[i+1], miss[i+1] = c.tpi, c.miss
+			}
+			s.tpi[b.Name] = tpi
+			s.tpiMiss[b.Name] = miss
 		}
-		avg := sum / float64(len(s.apps))
-		if bestK == 0 || avg < bestAvg {
-			bestK, bestAvg = k, avg
+		// Best conventional configuration: smallest workload-average TPI.
+		bestK, bestAvg := 0, 0.0
+		for k := 1; k <= nB; k++ {
+			var sum float64
+			for _, b := range s.apps {
+				sum += s.tpi[b.Name][k]
+			}
+			avg := sum / float64(len(s.apps))
+			if bestK == 0 || avg < bestAvg {
+				bestK, bestAvg = k, avg
+			}
 		}
-	}
-	s.convBest = bestK
-	cacheStudyCache[cacheStudyKey(cfg)] = s
-	return s, nil
+		s.convBest = bestK
+		return s, nil
+	})
 }
 
 // fig7 renders the per-application TPI-vs-L1-size curves, split into the
@@ -124,7 +140,7 @@ func cacheCompareTable(cfg Config, s *cacheStudy, id, title string, pick func(ap
 	}
 	var convSum, adptSum float64
 	for _, b := range s.apps {
-		bestK := core.SelectBest(s.tpi[b.Name]) // adaptivity always optimizes overall TPI
+		bestK := core.SelectBestIndex(s.tpi[b.Name]) // adaptivity always optimizes overall TPI
 		conv := pick(b.Name, s.convBest)
 		adpt := pick(b.Name, bestK)
 		convSum += conv

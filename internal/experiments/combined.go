@@ -5,6 +5,7 @@ import (
 
 	"capsim/internal/core"
 	"capsim/internal/metrics"
+	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -61,21 +62,31 @@ func ablationCombined(cfg Config) (Result, error) {
 		return m.TotalTPI(), nil
 	}
 
-	var profiles []profiled
-	for _, app := range apps {
+	// The (application x boundary x queue-size) profiling grid — 5 x 4 x 3 —
+	// is a pile of independent simulations: fan the whole cross product out
+	// across the sweep pool. Joint-space point j maps to (bs[j/len(qs)],
+	// qs[j%len(qs)]), preserving the original scan order, so the joint-best
+	// tie-break (first strictly-smaller wins) is unchanged.
+	points := make([]core.CombinedConfig, 0, len(bs)*len(qs))
+	for _, k := range bs {
+		for _, w := range qs {
+			points = append(points, core.CombinedConfig{QueueEntries: w, Boundary: k})
+		}
+	}
+	grid, err := sweep.Grid(len(apps), len(points), func(a, j int) (float64, error) {
+		return run(apps[a], points[j])
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	profiles := make([]profiled, 0, len(apps))
+	for a, app := range apps {
 		p := profiled{name: app, tpi: map[core.CombinedConfig]float64{}}
-		first := true
-		for _, k := range bs {
-			for _, w := range qs {
-				cc := core.CombinedConfig{QueueEntries: w, Boundary: k}
-				v, err := run(app, cc)
-				if err != nil {
-					return Result{}, err
-				}
-				p.tpi[cc] = v
-				if first || v < p.tpi[p.joint] {
-					p.joint, first = cc, false
-				}
+		for j, cc := range points {
+			v := grid[a][j]
+			p.tpi[cc] = v
+			if j == 0 || v < p.tpi[p.joint] {
+				p.joint = cc
 			}
 		}
 		profiles = append(profiles, p)

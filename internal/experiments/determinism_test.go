@@ -2,7 +2,55 @@ package experiments
 
 import (
 	"testing"
+
+	"capsim/internal/sweep"
 )
+
+// TestParallelDeterminism locks the tentpole contract of the sweep engine:
+// every experiment renders byte-identically whether the sweeps run serially
+// (workers=1) or fanned out (workers=8). Each pass starts from a cold study
+// memo — otherwise the second pass would trivially replay the first pass's
+// numbers instead of re-running the compute under the other schedule. Run
+// with -race to also certify the worker pool's memory discipline across the
+// full driver set.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment twice")
+	}
+	cfg := fastConfig()
+	// Trim budgets further: this test runs the complete registry twice, and
+	// must fit the per-package budget under -race on one core. IntervalInstrs
+	// drives the Section 6 studies (fixed interval counts x interval length),
+	// which dominate the registry's wall time.
+	cfg.CacheWarmRefs = 5_000
+	cfg.CacheRefs = 20_000
+	cfg.QueueInstrs = 10_000
+	cfg.IntervalInstrs = 400
+
+	old := sweep.DefaultWorkers()
+	defer sweep.SetDefaultWorkers(old)
+
+	render := func(workers int) map[string]string {
+		sweep.SetDefaultWorkers(workers)
+		ResetCaches()
+		out := map[string]string{}
+		for _, id := range IDs() {
+			res, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, id, err)
+			}
+			out[id] = res.Render()
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(8)
+	for _, id := range IDs() {
+		if serial[id] != parallel[id] {
+			t.Errorf("%s: render differs between workers=1 and workers=8", id)
+		}
+	}
+}
 
 // TestExperimentDeterminism locks the reproducibility contract: the same
 // configuration renders byte-identical results across runs (the memoized

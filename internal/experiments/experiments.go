@@ -134,6 +134,15 @@ func Title(id string) (string, error) {
 	return e.title, nil
 }
 
+// ResetCaches discards the memoized cache- and queue-study profiling passes.
+// Long-lived processes that sweep many configurations can call it to bound
+// memory; the determinism tests call it between serial and parallel passes
+// so the comparison re-runs the full compute instead of hitting the memo.
+func ResetCaches() {
+	cacheStudies.Reset()
+	queueStudies.Reset()
+}
+
 // Run executes the experiment with the given configuration.
 func Run(id string, cfg Config) (Result, error) {
 	e, ok := registry[id]

@@ -5,6 +5,7 @@ import (
 
 	"capsim/internal/bpred"
 	"capsim/internal/metrics"
+	"capsim/internal/sweep"
 	"capsim/internal/tlb"
 	"capsim/internal/workload"
 )
@@ -30,53 +31,56 @@ func ablationTLB(cfg Config) (Result, error) {
 			"backup best", "backup config", "backup advantage"},
 	}
 	apps := []string{"gcc", "vortex", "stereo", "applu", "appcg"}
-	for _, name := range apps {
-		b, err := workload.ByName(name)
+	// Every (application, mode, group count) cell replays its own address
+	// trace from the master seed and shares nothing with its neighbours:
+	// fan the whole application x (2 modes x Groups) grid across the sweep
+	// pool and reduce each row to its per-mode best serially (the reduction
+	// scans groups in ascending order, so the first-strictly-smaller
+	// tie-break matches the old serial loop).
+	grid, err := sweep.Grid(len(apps), 2*p.Groups, func(a, j int) (float64, error) {
+		b, err := workload.ByName(apps[a])
 		if err != nil {
-			return Result{}, err
+			return 0, err
 		}
-		run := func(g int, backup bool) (float64, error) {
-			tr := workload.NewAddressTrace(b, cfg.Seed)
-			var tb *tlb.TLB
-			var err error
+		g, backup := j%p.Groups+1, j >= p.Groups
+		tr := workload.NewAddressTrace(b, cfg.Seed)
+		var tb *tlb.TLB
+		if backup {
+			tb, err = tlb.New(p, g)
+		} else {
+			tb, err = tlb.NewWithoutBackup(p, g)
+		}
+		if err != nil {
+			return 0, err
+		}
+		for i := int64(0); i < cfg.CacheWarmRefs; i++ {
+			tb.Lookup(tr.Next().Addr)
+		}
+		tb.ResetStats()
+		for i := int64(0); i < cfg.CacheRefs; i++ {
+			tb.Lookup(tr.Next().Addr)
+		}
+		return tlb.Evaluate(p, g, tb.Stats()), nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for a, name := range apps {
+		best := func(backup bool) (int, float64) {
+			off := 0
 			if backup {
-				tb, err = tlb.New(p, g)
-			} else {
-				tb, err = tlb.NewWithoutBackup(p, g)
+				off = p.Groups
 			}
-			if err != nil {
-				return 0, err
-			}
-			for i := int64(0); i < cfg.CacheWarmRefs; i++ {
-				tb.Lookup(tr.Next().Addr)
-			}
-			tb.ResetStats()
-			for i := int64(0); i < cfg.CacheRefs; i++ {
-				tb.Lookup(tr.Next().Addr)
-			}
-			return tlb.Evaluate(p, g, tb.Stats()), nil
-		}
-		best := func(backup bool) (int, float64, error) {
 			bg, bt := 0, 0.0
 			for g := 1; g <= p.Groups; g++ {
-				v, err := run(g, backup)
-				if err != nil {
-					return 0, 0, err
-				}
-				if bg == 0 || v < bt {
+				if v := grid[a][off+g-1]; bg == 0 || v < bt {
 					bg, bt = g, v
 				}
 			}
-			return bg, bt, nil
+			return bg, bt
 		}
-		ng, nt, err := best(false)
-		if err != nil {
-			return Result{}, err
-		}
-		bg, bt, err := best(true)
-		if err != nil {
-			return Result{}, err
-		}
+		ng, nt := best(false)
+		bg, bt := best(true)
 		t.Rows = append(t.Rows, []string{
 			name, metrics.F(nt), fmt.Sprintf("%d entries", ng*p.GroupEntries),
 			metrics.F(bt), fmt.Sprintf("%d+%d entries", bg*p.GroupEntries, (p.Groups-bg)*p.GroupEntries),
@@ -100,23 +104,32 @@ func ablationBpred(cfg Config) (Result, error) {
 		Title:   "Average per-branch time (ns) by active table size",
 		Columns: append([]string{"static branches"}, append(sizeLabels(sizes), "best")...),
 	}
-	for _, static := range []int{200, 800, 1600, 3200} {
+	// Each (static population, table size) cell owns its predictor and
+	// branch generator: sweep the grid and assemble rows by index.
+	statics := []int{200, 800, 1600, 3200}
+	grid, err := sweep.Grid(len(statics), len(sizes), func(s, i int) (float64, error) {
+		pr := bpred.MustNew(p, sizes[i])
+		g := bpred.NewBranchGen(cfg.Seed, statics[s], 0.3)
+		const warm, measure = 120_000, 200_000
+		for j := 0; j < warm; j++ {
+			pc, taken := g.Next()
+			pr.Predict(pc, taken)
+		}
+		pr.ResetStats()
+		for j := 0; j < measure; j++ {
+			pc, taken := g.Next()
+			pr.Predict(pc, taken)
+		}
+		return bpred.Evaluate(p, sizes[i], pr.Stats()), nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for s, static := range statics {
 		row := []string{fmt.Sprintf("%d", static)}
 		best, bestT := 0, 0.0
 		for i, n := range sizes {
-			pr := bpred.MustNew(p, n)
-			g := bpred.NewBranchGen(cfg.Seed, static, 0.3)
-			const warm, measure = 120_000, 200_000
-			for j := 0; j < warm; j++ {
-				pc, taken := g.Next()
-				pr.Predict(pc, taken)
-			}
-			pr.ResetStats()
-			for j := 0; j < measure; j++ {
-				pc, taken := g.Next()
-				pr.Predict(pc, taken)
-			}
-			v := bpred.Evaluate(p, n, pr.Stats())
+			v := grid[s][i]
 			row = append(row, metrics.F(v))
 			if i == 0 || v < bestT {
 				best, bestT = n, v

@@ -5,6 +5,7 @@ import (
 
 	"capsim/internal/core"
 	"capsim/internal/metrics"
+	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -96,14 +97,16 @@ func fig12(cfg Config) (Result, error) {
 	loB, hiB := block+block/5, block+block/5+200
 	total := hiB + 10
 
-	t64, err := intervalTrace(cfg, "turb3d", 64, total)
+	// The two fixed-configuration traces are independent simulations: run
+	// them in parallel.
+	entries := []int{64, 128}
+	traces, err := sweep.Run(2, func(i int) ([]float64, error) {
+		return intervalTrace(cfg, "turb3d", entries[i], total)
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	t128, err := intervalTrace(cfg, "turb3d", 128, total)
-	if err != nil {
-		return Result{}, err
-	}
+	t64, t128 := traces[0], traces[1]
 	figA := snapshotFigure("fig12a", "turb3d snapshot (a): 64-entry phase", loA, hiA, "64 entries", "128 entries", t64, t128)
 	figB := snapshotFigure("fig12b", "turb3d snapshot (b): 128-entry phase", loB, hiB, "64 entries", "128 entries", t64, t128)
 	return Result{
@@ -130,14 +133,15 @@ func fig13(cfg Config) (Result, error) {
 	loB, hiB := super+super/6, super+super/6+300
 	total := hiB + 10
 
-	t16, err := intervalTrace(cfg, "vortex", 16, total)
+	// As in fig12, the two traces are independent; fan them out.
+	entries := []int{16, 64}
+	traces, err := sweep.Run(2, func(i int) ([]float64, error) {
+		return intervalTrace(cfg, "vortex", entries[i], total)
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	t64, err := intervalTrace(cfg, "vortex", 64, total)
-	if err != nil {
-		return Result{}, err
-	}
+	t16, t64 := traces[0], traces[1]
 	figA := snapshotFigure("fig13a", "vortex snapshot (a): regular alternation", loA, hiA, "16 entries", "64 entries", t16, t64)
 	figB := snapshotFigure("fig13b", "vortex snapshot (b): irregular region", loB, hiB, "16 entries", "64 entries", t16, t64)
 	return Result{

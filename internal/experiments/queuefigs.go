@@ -2,10 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"capsim/internal/core"
+	"capsim/internal/memo"
 	"capsim/internal/metrics"
+	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -18,51 +19,54 @@ func init() {
 type queueStudy struct {
 	apps     []workload.Benchmark
 	sizes    []int
-	tpi      map[string]map[int]float64 // by app, by config index
-	convBest int                        // config index with smallest average TPI
+	tpi      map[string][]float64 // by app, dense by config index
+	convBest int                  // config index with smallest average TPI
 }
 
-var (
-	queueStudyMu    sync.Mutex
-	queueStudyCache = map[string]*queueStudy{}
-)
+// queueStudies memoizes the profiling pass per configuration key
+// (singleflight per key, like cacheStudies): fig10 and fig11 — and the
+// interval/combined studies that reuse the table — share one pass instead of
+// repeating it.
+var queueStudies memo.Memo[string, *queueStudy]
 
 func queueStudyKey(cfg Config) string {
 	return fmt.Sprintf("%d/%d/%v", cfg.Seed, cfg.QueueInstrs, cfg.Feature)
 }
 
+// runQueueStudy profiles every application at every queue size, fanning the
+// (application x size) grid — 22 x 8 for the paper's setup — across the
+// sweep pool. Results are collected by grid index, never by completion
+// order, so output is byte-identical at any worker count.
 func runQueueStudy(cfg Config) (*queueStudy, error) {
-	queueStudyMu.Lock()
-	defer queueStudyMu.Unlock()
-	if s, ok := queueStudyCache[queueStudyKey(cfg)]; ok {
-		return s, nil
-	}
-	s := &queueStudy{
-		apps:  workload.QueueApps(),
-		sizes: core.PaperQueueSizes(),
-		tpi:   map[string]map[int]float64{},
-	}
-	for _, b := range s.apps {
-		tpi, err := core.ProfileQueueTPI(b, cfg.Seed, s.sizes, cfg.QueueInstrs, cfg.Feature)
+	return queueStudies.Do(queueStudyKey(cfg), func() (*queueStudy, error) {
+		s := &queueStudy{
+			apps:  workload.QueueApps(),
+			sizes: core.PaperQueueSizes(),
+			tpi:   map[string][]float64{},
+		}
+		grid, err := sweep.Grid(len(s.apps), len(s.sizes), func(a, i int) (float64, error) {
+			return core.ProfileQueueConfig(s.apps[a], cfg.Seed, s.sizes, i, cfg.QueueInstrs, cfg.Feature)
+		})
 		if err != nil {
 			return nil, err
 		}
-		s.tpi[b.Name] = tpi
-	}
-	bestI, bestAvg := -1, 0.0
-	for i := range s.sizes {
-		var sum float64
-		for _, b := range s.apps {
-			sum += s.tpi[b.Name][i]
+		for a, b := range s.apps {
+			s.tpi[b.Name] = grid[a]
 		}
-		avg := sum / float64(len(s.apps))
-		if bestI < 0 || avg < bestAvg {
-			bestI, bestAvg = i, avg
+		bestI, bestAvg := -1, 0.0
+		for i := range s.sizes {
+			var sum float64
+			for _, b := range s.apps {
+				sum += s.tpi[b.Name][i]
+			}
+			avg := sum / float64(len(s.apps))
+			if bestI < 0 || avg < bestAvg {
+				bestI, bestAvg = i, avg
+			}
 		}
-	}
-	s.convBest = bestI
-	queueStudyCache[queueStudyKey(cfg)] = s
-	return s, nil
+		s.convBest = bestI
+		return s, nil
+	})
 }
 
 // fig10 renders per-application TPI vs queue size, split into the paper's
@@ -115,7 +119,7 @@ func fig11(cfg Config) (Result, error) {
 	}
 	var convSum, adptSum float64
 	for _, b := range s.apps {
-		bestI := core.SelectBest(s.tpi[b.Name])
+		bestI := core.SelectBestIndex(s.tpi[b.Name])
 		conv := s.tpi[b.Name][s.convBest]
 		adpt := s.tpi[b.Name][bestI]
 		convSum += conv

@@ -1,0 +1,81 @@
+// Package memo provides a small concurrency-safe, singleflight-style
+// memoization primitive used by the experiment drivers and the analytic
+// timing models (cacti, wire, palacharla, cache.TimingFor).
+//
+// Unlike a plain mutex-guarded map, Memo never holds its lock while the
+// memoized function runs: each key owns a sync.Once, so two goroutines asking
+// for *different* keys compute concurrently, while two goroutines asking for
+// the *same* key share one computation (the second blocks only on that key's
+// Once). This is the fix for the old cacheStudyMu pattern, which serialized
+// unrelated configurations behind one global lock for the entire multi-second
+// profiling pass.
+//
+// Memoized functions must be deterministic in their key: the first caller's
+// result is returned to everyone, forever (until Reset). Functions that can
+// panic must validate and panic *before* entering the memo — a panic inside
+// sync.Once marks the entry complete and later callers would silently see the
+// zero value.
+package memo
+
+import "sync"
+
+// entry is one key's slot: a Once guarding the computed value.
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Memo memoizes a function from K to (V, error). The zero value is ready to
+// use. All methods are safe for concurrent use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*entry[V]
+}
+
+// slot returns (creating if needed) the entry for k. The map lock is held
+// only for the lookup, never during computation.
+func (c *Memo[K, V]) slot(k K) *entry[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[K]*entry[V])
+	}
+	e, ok := c.m[k]
+	if !ok {
+		e = &entry[V]{}
+		c.m[k] = e
+	}
+	return e
+}
+
+// Do returns the memoized result for k, computing it with fn on first use.
+// Concurrent callers with the same key share one fn invocation; callers with
+// distinct keys never block each other. Errors are memoized too (the
+// computations here are deterministic, so retrying cannot help).
+func (c *Memo[K, V]) Do(k K, fn func() (V, error)) (V, error) {
+	e := c.slot(k)
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Get is Do for infallible functions.
+func (c *Memo[K, V]) Get(k K, fn func() V) V {
+	v, _ := c.Do(k, func() (V, error) { return fn(), nil })
+	return v
+}
+
+// Len returns the number of memoized keys (including in-flight ones).
+func (c *Memo[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset discards all memoized entries. In-flight computations complete
+// against the old entries; subsequent Do calls recompute.
+func (c *Memo[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = nil
+}

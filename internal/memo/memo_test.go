@@ -1,0 +1,118 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	var m Memo[int, int]
+	var calls atomic.Int32
+	for i := 0; i < 5; i++ {
+		v, err := m.Do(7, func() (int, error) { calls.Add(1); return 49, nil })
+		if err != nil || v != 49 {
+			t.Fatalf("Do: %d %v", v, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fn called %d times, want 1", calls.Load())
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len %d, want 1", m.Len())
+	}
+}
+
+func TestDoMemoizesErrors(t *testing.T) {
+	var m Memo[string, int]
+	want := errors.New("deterministic failure")
+	var calls atomic.Int32
+	for i := 0; i < 3; i++ {
+		_, err := m.Do("bad", func() (int, error) { calls.Add(1); return 0, want })
+		if !errors.Is(err, want) {
+			t.Fatalf("err %v", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("failing fn retried %d times", calls.Load())
+	}
+}
+
+// TestDistinctKeysComputeConcurrently is the singleflight property the cache
+// study needed: one slow key must not serialize an unrelated key behind it.
+func TestDistinctKeysComputeConcurrently(t *testing.T) {
+	var m Memo[int, int]
+	slowStarted := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		m.Do(1, func() (int, error) {
+			close(slowStarted)
+			<-release
+			return 1, nil
+		})
+		close(done)
+	}()
+	<-slowStarted
+	// While key 1 is mid-computation, key 2 must complete immediately.
+	fast := make(chan struct{})
+	go func() {
+		m.Get(2, func() int { return 2 })
+		close(fast)
+	}()
+	select {
+	case <-fast:
+	case <-time.After(5 * time.Second):
+		t.Fatal("distinct key blocked behind an in-flight computation")
+	}
+	close(release)
+	<-done
+}
+
+func TestSameKeySharesOneComputation(t *testing.T) {
+	var m Memo[int, int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := m.Get(42, func() int {
+				calls.Add(1)
+				time.Sleep(time.Millisecond)
+				return 99
+			})
+			if v != 99 {
+				t.Errorf("got %d", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("shared key computed %d times", calls.Load())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m Memo[int, int]
+	var calls atomic.Int32
+	f := func() int { calls.Add(1); return 1 }
+	m.Get(1, f)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Errorf("Len %d after Reset", m.Len())
+	}
+	m.Get(1, f)
+	if calls.Load() != 2 {
+		t.Errorf("Reset did not force recompute (calls=%d)", calls.Load())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memo[struct{ A, B int }, string]
+	if got := m.Get(struct{ A, B int }{1, 2}, func() string { return "ok" }); got != "ok" {
+		t.Fatalf("zero-value memo: %q", got)
+	}
+}

@@ -306,12 +306,24 @@ func (c *Core) Drain(max int) {
 // Resize changes the window size, draining first when shrinking. Growing is
 // immediate (newly enabled entries start empty). Returns an error for
 // non-positive or unsupported sizes.
+//
+// The backing slice's capacity is reserved for the new size up front: the
+// dispatch loop appends up to WindowSize entries per cycle, and without the
+// reservation a grow (16 -> 128 entries, say) would regrow the slice
+// incrementally inside the per-cycle hot loop. After the one-time
+// reservation here, dispatch and issueCycle (which filters in place via
+// c.window[:0]) run allocation-free.
 func (c *Core) Resize(newSize int) error {
 	if newSize < 1 || newSize >= maxDist {
 		return fmt.Errorf("ooo: window size %d out of range", newSize)
 	}
 	if newSize < len(c.window) {
 		c.Drain(newSize)
+	}
+	if newSize > cap(c.window) {
+		w := make([]entry, len(c.window), newSize)
+		copy(w, c.window)
+		c.window = w
 	}
 	c.cfg.WindowSize = newSize
 	return nil

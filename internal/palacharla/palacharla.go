@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"capsim/internal/memo"
 	"capsim/internal/tech"
 )
 
@@ -118,12 +119,31 @@ func SelectDelay(q Queue, p tech.Params) float64 {
 	return (selectRootGrant + 2.0*selectPerLevel*float64(h)) * scale(p)
 }
 
+// cycleKey keys the CycleTime memo; Queue and tech.Params are flat scalar
+// structs, so the pair describes the computation completely.
+type cycleKey struct {
+	q Queue
+	p tech.Params
+}
+
+// cycleTimes memoizes CycleTime: every QueueMachine and CombinedMachine
+// construction evaluates the full configuration set, and parallel sweeps
+// construct thousands of machines over the same handful of queue shapes.
+// Validation (which panics) runs before entering the memo.
+var cycleTimes memo.Memo[cycleKey, float64]
+
 // CycleTime returns the atomic wakeup+select delay in ns — the processor
 // cycle time for this queue configuration in the CAP paper's experiment
 // ("the instruction queue wakeup and selection logic is on the critical
-// timing path for all configurations").
+// timing path for all configurations"). Results are memoized per
+// (Queue, Params).
 func CycleTime(q Queue, p tech.Params) float64 {
-	return WakeupDelay(q, p) + SelectDelay(q, p)
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	return cycleTimes.Get(cycleKey{q, p}, func() float64 {
+		return WakeupDelay(q, p) + SelectDelay(q, p)
+	})
 }
 
 // --- Physical geometry for the Figure 2 wire-delay study -----------------

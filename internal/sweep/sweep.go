@@ -1,0 +1,142 @@
+// Package sweep is the parallel sweep engine behind the experiment drivers:
+// a bounded worker pool that fans independent (benchmark, configuration)
+// simulation jobs across CPUs while preserving bit-for-bit determinism.
+//
+// Every figure of the paper is a sweep over a cross product — 21 applications
+// x 16 boundary positions for Figures 7-9, 22 applications x 8 queue sizes
+// for Figures 10-11 — whose cells are completely independent: each cell
+// builds a fresh machine whose workload generators are seeded by
+// (master seed, benchmark name, purpose) via rng.DeriveSeed, so no cell can
+// observe another cell's random stream or simulator state.
+//
+// Determinism contract (see DESIGN.md "Parallel execution & determinism"):
+//
+//   - jobs are identified by their index in [0, n); the result of job i is
+//     stored at results[i] regardless of which worker ran it or when it
+//     finished — collection is by index, never by completion order;
+//   - jobs derive all randomness from their own arguments (never from shared
+//     mutable state), so scheduling cannot perturb any simulated outcome;
+//   - error selection is deterministic: after all jobs complete, the error
+//     of the lowest-indexed failing job is returned.
+//
+// Consequently Run(n, fn) returns byte-identical results for any worker
+// count, including 1 (the serial fallback used by `capsim -parallel 1` and
+// the determinism tests).
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide worker count used by Run when the
+// caller does not specify one. Zero (the initial value) means "use
+// runtime.GOMAXPROCS(0)". cmd/capsim's -parallel flag sets it.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the process-wide default worker count. n < 1
+// restores the automatic default (GOMAXPROCS).
+func SetDefaultWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers returns the worker count Run will use: the value set by
+// SetDefaultWorkers, or runtime.GOMAXPROCS(0) when unset.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes jobs 0..n-1 with the default worker count and collects their
+// results by index. See RunN.
+func Run[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunN(DefaultWorkers(), n, fn)
+}
+
+// RunN executes jobs 0..n-1 on at most `workers` concurrent goroutines.
+// results[i] always holds job i's value. The returned error is the
+// lowest-indexed job error, or nil: the parallel path runs every job and
+// then selects by index, while the serial path stops at the first error —
+// which, running in order, is by construction the lowest-indexed one. Both
+// paths therefore report the identical error for identical inputs.
+//
+// RunN may be nested: a job may itself call Run/RunN. Each invocation spawns
+// its own bounded goroutine set and holds no locks while jobs execute, so
+// nesting cannot deadlock; it merely oversubscribes the scheduler briefly.
+func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, no synchronization. This is the
+		// baseline the determinism tests compare parallel runs against.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Each is Run for jobs without results.
+func Each(n int, fn func(i int) error) error {
+	_, err := Run(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
+	return err
+}
+
+// Grid is a helper for two-dimensional sweeps over an (outer x inner) cross
+// product, the shape of every figure in the paper. Job (o, i) runs at flat
+// index o*inner+i; results are returned as a dense [outer][inner] matrix.
+func Grid[T any](outer, inner int, fn func(o, i int) (T, error)) ([][]T, error) {
+	flat, err := Run(outer*inner, func(j int) (T, error) {
+		return fn(j/inner, j%inner)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, outer)
+	for o := range out {
+		out[o] = flat[o*inner : (o+1)*inner : (o+1)*inner]
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		got, err := RunN(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := RunN(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty run: %v %v", got, err)
+	}
+}
+
+func TestRunLowestIndexedError(t *testing.T) {
+	// Jobs 7 and 3 fail; the error from job 3 must be reported regardless of
+	// completion order.
+	for trial := 0; trial < 20; trial++ {
+		_, err := RunN(4, 10, func(i int) (int, error) {
+			if i == 7 || i == 3 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: got error %v, want job 3's", trial, err)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	_, err := RunN(workers, 64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, cap %d", p, workers)
+	}
+}
+
+func TestRunNested(t *testing.T) {
+	// A job may itself fan out; nesting must neither deadlock nor corrupt
+	// result placement.
+	got, err := RunN(4, 6, func(o int) ([]int, error) {
+		return RunN(4, 5, func(i int) (int, error) { return o*10 + i, nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, row := range got {
+		for i, v := range row {
+			if v != o*10+i {
+				t.Fatalf("nested result[%d][%d]=%d", o, i, v)
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	m, err := Grid(3, 4, func(o, i int) (int, error) { return o*100 + i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("%d rows", len(m))
+	}
+	for o, row := range m {
+		if len(row) != 4 {
+			t.Fatalf("row %d: %d cols", o, len(row))
+		}
+		for i, v := range row {
+			if v != o*100+i {
+				t.Fatalf("grid[%d][%d]=%d", o, i, v)
+			}
+		}
+	}
+}
+
+func TestGridError(t *testing.T) {
+	want := errors.New("boom")
+	if _, err := Grid(2, 2, func(o, i int) (int, error) {
+		if o == 1 && i == 1 {
+			return 0, want
+		}
+		return 0, nil
+	}); !errors.Is(err, want) {
+		t.Fatalf("grid error %v", err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("unset default %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("default %d after Set(3)", got)
+	}
+	SetDefaultWorkers(-5)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default %d after Set(-5), want GOMAXPROCS", got)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := Each(32, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 32 {
+		t.Errorf("ran %d jobs, want 32", len(seen))
+	}
+}
+
+// TestRunDeterministicUnderRace hammers the pool with shared-free jobs so the
+// race detector can certify the result-collection path.
+func TestRunDeterministicUnderRace(t *testing.T) {
+	base, err := RunN(1, 257, func(i int) (uint64, error) {
+		x := uint64(i) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		return x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 7, 16} {
+		got, err := RunN(w, 257, func(i int) (uint64, error) {
+			x := uint64(i) * 0x9e3779b97f4a7c15
+			x ^= x >> 29
+			return x, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: result[%d] differs from serial", w, i)
+			}
+		}
+	}
+}

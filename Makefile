@@ -1,10 +1,13 @@
 # capsim build/test/bench entry points. `make ci` is the gate every change
 # must pass; `make bench` regenerates BENCH_sweep.json (serial vs parallel
-# full-evaluation runs, each in a fresh process so the study memos are cold).
+# full-evaluation runs, each in a fresh process so the study memos are cold);
+# `make bench-onepass` regenerates BENCH_onepass.json (legacy per-cell
+# streams vs the shared-trace one-pass profiling path); `make bench-compare`
+# prints the old-vs-new profiling micro-benchmark deltas.
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt ci bench clean
+.PHONY: all build test short race vet fmt ci bench bench-compare bench-compare-smoke bench-onepass clean
 
 all: build
 
@@ -28,7 +31,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race
+ci: fmt vet build race bench-compare-smoke
 
 # bench writes BENCH_sweep.json: a two-element array holding the full
 # -experiment all evaluation measured at -parallel 1 and at -parallel 8,
@@ -43,5 +46,45 @@ bench:
 	  cat /tmp/capsim_bench_parallel.json; printf ']\n'; } > BENCH_sweep.json
 	@echo "wrote BENCH_sweep.json"
 
+# bench-compare runs the paired profiling benchmarks (one-pass shared-trace
+# vs legacy per-cell streams, for the cache and queue studies) and prints a
+# benchstat-style delta per pair. No external tooling: the reduction is one
+# awk pass over the standard -bench output.
+bench-compare:
+	@$(GO) test -run '^$$' -bench 'Profile(Onepass|Legacy)' -benchtime 5x -count 1 . \
+		| tee /tmp/capsim_bench_compare.txt
+	@awk '/^Benchmark/ { \
+		name=$$1; sub(/-[0-9]+$$/, "", name); ns[name]=$$3; order[n++]=name } \
+	END { \
+		printf "\n%-22s %14s %14s %8s\n", "study", "legacy ns/op", "onepass ns/op", "speedup"; \
+		for (i=0; i<n; i++) { \
+			name=order[i]; \
+			if (name ~ /Onepass$$/) { \
+				base=name; sub(/Onepass$$/, "", base); \
+				leg=ns[base "Legacy"]; one=ns[base "Onepass"]; \
+				if (leg && one) printf "%-22s %14.0f %14.0f %7.2fx\n", base, leg, one, leg/one; \
+			} } }' /tmp/capsim_bench_compare.txt
+
+# bench-compare-smoke is the ci-gated variant: single iteration per
+# benchmark, just proving both paths run and the harness parses.
+bench-compare-smoke:
+	@$(GO) test -run '^$$' -bench 'Profile(Onepass|Legacy)' -benchtime 1x -count 1 . >/dev/null
+	@echo "bench-compare smoke ok"
+
+# bench-onepass writes BENCH_onepass.json: the full cache-study profiling
+# pass (fig7 regenerates it from cold memos in each fresh process) measured
+# with -onepass=false (legacy, one machine + private stream per boundary
+# cell) and -onepass=true (shared materialized trace, one MultiHierarchy
+# pass per application), both serial so the comparison is pure compute.
+# Compare total_wall_ns between the two elements for the one-pass speedup.
+bench-onepass:
+	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_legacy.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_onepass.json >/dev/null
+	{ printf '[\n'; cat /tmp/capsim_bench_legacy.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_onepass.json; printf ']\n'; } > BENCH_onepass.json
+	@echo "wrote BENCH_onepass.json"
+
 clean:
-	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json
+	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
+	  /tmp/capsim_bench_legacy.json /tmp/capsim_bench_onepass.json \
+	  /tmp/capsim_bench_compare.txt

@@ -3,7 +3,12 @@ package capsim
 import (
 	"testing"
 
+	"capsim/internal/cache"
+	"capsim/internal/core"
 	"capsim/internal/experiments"
+	"capsim/internal/tech"
+	"capsim/internal/trace"
+	"capsim/internal/workload"
 )
 
 // benchConfig returns reduced budgets so the full `go test -bench=.` sweep
@@ -120,3 +125,65 @@ func BenchmarkQueueIssue(b *testing.B) {
 		m.RunInterval(chunk)
 	}
 }
+
+// --- One-pass vs legacy profiling (make bench-compare) --------------------
+//
+// Each pair measures the identical profiling computation on the two source
+// paths: Onepass replays (and for the cache study, evaluates) the shared
+// materialized trace in one pass; Legacy regenerates every stream per
+// configuration cell, exactly as the pre-one-pass code did. trace.Reset()
+// inside the loop keeps every iteration cold, so Onepass pays its
+// materialization cost honestly.
+
+func benchCacheProfile(b *testing.B, onepass bool) {
+	bm := workload.MustByName("gcc")
+	defer func() { trace.SetEnabled(true); trace.Reset() }()
+	trace.SetEnabled(onepass)
+	p := cache.PaperParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Reset()
+		tpi, _, err := core.ProfileCacheTPI(bm, 1998, p, core.PaperMaxBoundary, 20_000, 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tpi) != core.PaperMaxBoundary+1 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkCacheProfileOnepass profiles all 8 paper boundaries for one
+// application via the one-pass MultiHierarchy engine.
+func BenchmarkCacheProfileOnepass(b *testing.B) { benchCacheProfile(b, true) }
+
+// BenchmarkCacheProfileLegacy is the same profile through 8 independent
+// machines, each regenerating the reference stream.
+func BenchmarkCacheProfileLegacy(b *testing.B) { benchCacheProfile(b, false) }
+
+func benchQueueProfile(b *testing.B, onepass bool) {
+	bm := workload.MustByName("gcc")
+	defer func() { trace.SetEnabled(true); trace.Reset() }()
+	trace.SetEnabled(onepass)
+	sizes := core.PaperQueueSizes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Reset()
+		tpi, err := core.ProfileQueueTPI(bm, 1998, sizes, 30_000, tech.Micron018)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tpi) != len(sizes) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkQueueProfileOnepass profiles all 8 queue sizes, every simulation
+// replaying one shared materialized instruction stream.
+func BenchmarkQueueProfileOnepass(b *testing.B) { benchQueueProfile(b, true) }
+
+// BenchmarkQueueProfileLegacy regenerates the instruction stream per size.
+func BenchmarkQueueProfileLegacy(b *testing.B) { benchQueueProfile(b, false) }

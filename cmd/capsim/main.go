@@ -8,10 +8,15 @@
 //	capsim -experiment all -cache-refs 2000000 -queue-instrs 1000000
 //	capsim -experiment all -parallel 8 -bench-json BENCH_sweep.json
 //	capsim -experiment fig7 -parallel 1 -cpuprofile fig7.pprof
+//	capsim -experiment fig7 -onepass=false   # legacy per-boundary oracle
 //
 // Output is byte-identical at every -parallel setting: simulation jobs derive
 // their random streams from (seed, benchmark, purpose) and results are
 // collected by grid index, so the worker count changes only the wall time.
+// It is also byte-identical at either -onepass setting: the one-pass path
+// (default) profiles every cache boundary in a single replay of a shared
+// materialized trace, while -onepass=false re-generates every stream per
+// configuration cell; only wall time and memory differ.
 package main
 
 import (
@@ -21,11 +26,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"capsim/internal/experiments"
 	"capsim/internal/sweep"
 	"capsim/internal/tech"
+	"capsim/internal/trace"
 )
 
 // benchRecord is one experiment's measured cost for -bench-json.
@@ -43,7 +50,9 @@ type benchRecord struct {
 // benchReport is the top-level -bench-json document.
 type benchReport struct {
 	Generated   string        `json:"generated"`
+	Command     string        `json:"command"`
 	Parallel    int           `json:"parallel"`
+	Onepass     bool          `json:"onepass"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
 	NumCPU      int           `json:"num_cpu"`
 	Seed        uint64        `json:"seed"`
@@ -65,6 +74,7 @@ func main() {
 		penalty     = flag.Int("switch-penalty", -1, "clock-switch penalty in cycles (-1 = default)")
 		feature     = flag.Float64("feature", 0.18, "feature size in microns (0.25, 0.18, 0.12)")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = serial; output is identical at any setting)")
+		onepass     = flag.Bool("onepass", true, "profile over the shared materialized trace in one pass (false = legacy per-configuration streams; output is identical either way)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
 	)
@@ -83,6 +93,7 @@ func main() {
 	}
 
 	sweep.SetDefaultWorkers(*parallel)
+	trace.SetEnabled(*onepass)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -115,7 +126,9 @@ func main() {
 
 	report := benchReport{
 		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Command:     strings.Join(os.Args, " "),
 		Parallel:    sweep.DefaultWorkers(),
+		Onepass:     *onepass,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		Seed:        cfg.Seed,

@@ -19,6 +19,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"capsim/internal/cacti"
 	"capsim/internal/memo"
@@ -106,9 +107,49 @@ type way struct {
 	lru   uint64 // last-use stamp; larger = more recent
 }
 
+// indexer precomputes the address -> (set, tag) decomposition for a
+// geometry. BlockBytes is always a power of two (Validate enforces it), so
+// the block extraction is a shift; when the set count is also a power of two
+// — true of every geometry the paper evaluates — the division and modulus
+// collapse to a shift and a mask, which removes two 64-bit divisions from
+// the per-reference hot path (BenchmarkHierarchyIndex shows the win). The
+// general path remains for non-power-of-two set counts and produces
+// identical values.
+type indexer struct {
+	sets       uint64
+	pow2       bool
+	blockShift uint
+	setMask    uint64
+	setShift   uint
+}
+
+// newIndexer builds the indexer for p (which must be valid).
+func newIndexer(p Params) indexer {
+	ix := indexer{
+		sets:       uint64(p.Sets()),
+		blockShift: uint(bits.TrailingZeros(uint(p.BlockBytes))),
+	}
+	if s := p.Sets(); s&(s-1) == 0 {
+		ix.pow2 = true
+		ix.setShift = uint(bits.TrailingZeros(uint(s)))
+		ix.setMask = uint64(s - 1)
+	}
+	return ix
+}
+
+// index extracts the set index and tag for an address.
+func (ix indexer) index(addr uint64) (set int, tag uint64) {
+	block := addr >> ix.blockShift
+	if ix.pow2 {
+		return int(block & ix.setMask), block >> ix.setShift
+	}
+	return int(block % ix.sets), block / ix.sets
+}
+
 // Hierarchy is the runtime state of the adaptive cache structure.
 type Hierarchy struct {
 	p        Params
+	ix       indexer
 	boundary int // increments assigned to L1
 	sets     [][]way
 	stamp    uint64
@@ -157,7 +198,7 @@ func New(p Params, boundary int) (*Hierarchy, error) {
 	for i := range sets {
 		sets[i], backing = backing[:p.TotalWays():p.TotalWays()], backing[p.TotalWays():]
 	}
-	return &Hierarchy{p: p, boundary: boundary, sets: sets}, nil
+	return &Hierarchy{p: p, ix: newIndexer(p), boundary: boundary, sets: sets}, nil
 }
 
 // MustNew is New but panics on error; for tests and tables of known-good
@@ -219,10 +260,10 @@ func (l Level) String() string {
 	}
 }
 
-// index extracts the set index and tag for an address.
+// index extracts the set index and tag for an address via the precomputed
+// shift/mask (or div/mod) indexer.
 func (h *Hierarchy) index(addr uint64) (set int, tag uint64) {
-	block := addr / uint64(h.p.BlockBytes)
-	return int(block % uint64(h.p.Sets())), block / uint64(h.p.Sets())
+	return h.ix.index(addr)
 }
 
 // Access performs one data reference and returns the level that satisfied

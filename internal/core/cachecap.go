@@ -7,6 +7,7 @@ import (
 	"capsim/internal/cache"
 	"capsim/internal/clock"
 	"capsim/internal/sweep"
+	"capsim/internal/trace"
 	"capsim/internal/workload"
 )
 
@@ -20,11 +21,11 @@ type CacheMachine struct {
 	configs []Config
 	timings []cache.Timing
 
-	hier  *cache.Hierarchy
-	clk   *clock.System
-	trace *workload.AddressTrace
-	rpi   float64 // references per instruction
-	cur   int
+	hier *cache.Hierarchy
+	clk  *clock.System
+	refs workload.RefSource
+	rpi  float64 // references per instruction
+	cur  int
 
 	instrs float64
 	timeNS float64
@@ -80,7 +81,7 @@ func NewCacheMachine(b workload.Benchmark, seed uint64, p cache.Params, maxBound
 		timings: timings,
 		hier:    h,
 		clk:     clk,
-		trace:   workload.NewAddressTrace(b, seed),
+		refs:    trace.RefSourceFor(b, seed),
 		rpi:     b.Mem.RefsPerInstr,
 		cur:     initial,
 	}, nil
@@ -132,7 +133,7 @@ func (c *CacheMachine) RunInterval(n int64) Sample {
 	t := c.timings[c.cur]
 	before := c.hier.Stats()
 	for i := int64(0); i < n; i++ {
-		r := c.trace.Next()
+		r := c.refs.Next()
 		c.hier.Access(r.Addr, r.Write)
 	}
 	after := c.hier.Stats()
@@ -243,10 +244,20 @@ func ProfileCacheBoundary(b workload.Benchmark, seed uint64, p cache.Params, max
 }
 
 // ProfileCacheTPI profiles every boundary for one application — the
-// process-level profiling pass. Boundaries are swept in parallel across the
-// sweep pool; results are dense slices of length maxBoundary+1 indexed by
-// boundary k (slot 0 is +Inf so SelectBestIndex can never choose it).
+// process-level profiling pass. Results are dense slices of length
+// maxBoundary+1 indexed by boundary k (slot 0 is +Inf so SelectBestIndex can
+// never choose it).
+//
+// When the shared-trace path is enabled (the default), the whole boundary
+// family is evaluated in ONE pass over the materialized reference stream via
+// cache.MultiHierarchy — each reference is generated and decoded exactly
+// once instead of once per boundary. When disabled (capsim -onepass=false),
+// the legacy oracle sweeps one independent machine per boundary across the
+// sweep pool. Both paths are bit-identical (TestProfileCacheTPIOnepass).
 func ProfileCacheTPI(b workload.Benchmark, seed uint64, p cache.Params, maxBoundary int, warm, refs int64) (tpi, tpiMiss []float64, err error) {
+	if trace.Enabled() {
+		return profileCacheTPIOnepass(b, seed, p, maxBoundary, warm, refs)
+	}
 	type cell struct{ tpi, miss float64 }
 	cells, err := sweep.Run(maxBoundary, func(i int) (cell, error) {
 		t, m, err := ProfileCacheBoundary(b, seed, p, maxBoundary, i+1, warm, refs)
@@ -260,6 +271,47 @@ func ProfileCacheTPI(b workload.Benchmark, seed uint64, p cache.Params, maxBound
 	tpi[0], tpiMiss[0] = math.Inf(1), math.Inf(1)
 	for i, c := range cells {
 		tpi[i+1], tpiMiss[i+1] = c.tpi, c.miss
+	}
+	return tpi, tpiMiss, nil
+}
+
+// profileCacheTPIOnepass is the one-pass profiling engine: a single replay of
+// the shared pre-decoded reference stream drives every boundary position in
+// lockstep through cache.MultiHierarchy, then the same closed-form timing
+// model as CacheMachine.RunInterval converts per-boundary miss counts into
+// (TPI, TPImiss). The float expressions replicate RunInterval term for term,
+// in the same order, so results are bit-identical to the per-boundary oracle.
+func profileCacheTPIOnepass(b workload.Benchmark, seed uint64, p cache.Params, maxBoundary int, warm, refs int64) (tpi, tpiMiss []float64, err error) {
+	if b.Mem == nil {
+		return nil, nil, fmt.Errorf("core: %s has no memory profile", b.Name)
+	}
+	mh, err := cache.NewMulti(p, maxBoundary)
+	if err != nil {
+		return nil, nil, err
+	}
+	store := trace.RefsFor(b, seed)
+	dec := trace.DecodedFor(store, trace.Geometry{BlockBytes: p.BlockBytes, Sets: p.Sets()})
+	cur := dec.Cursor()
+	if warm > 0 {
+		mh.Replay(cur, warm)
+	}
+	base := mh.Stats()
+	mh.Replay(cur, refs)
+	after := mh.Stats()
+
+	instrs := float64(refs) / b.Mem.RefsPerInstr
+	tpi = make([]float64, maxBoundary+1)
+	tpiMiss = make([]float64, maxBoundary+1)
+	tpi[0], tpiMiss[0] = math.Inf(1), math.Inf(1)
+	for k := 1; k <= maxBoundary; k++ {
+		t := cache.TimingFor(p, k)
+		l1m := after[k].L1Misses - base[k].L1Misses
+		l2m := after[k].L2Misses - base[k].L2Misses
+		stall := float64(l1m-l2m)*float64(t.L2HitCycles) + float64(l2m)*float64(t.L2HitCycles+t.MemCycles)
+		cycles := instrs*baseCPI + stall
+		dt := cycles * t.CycleNS
+		tpi[k] = dt / instrs
+		tpiMiss[k] = (stall * t.CycleNS) / instrs
 	}
 	return tpi, tpiMiss, nil
 }

@@ -8,6 +8,7 @@ import (
 	"capsim/internal/ooo"
 	"capsim/internal/palacharla"
 	"capsim/internal/tech"
+	"capsim/internal/trace"
 	"capsim/internal/workload"
 )
 
@@ -36,8 +37,8 @@ type CombinedMachine struct {
 	hier    *cache.Hierarchy
 	timings []cache.Timing
 	clk     *clock.System
-	istream *workload.InstrStream
-	trace   *workload.AddressTrace
+	istream workload.InstrSource
+	refs    workload.RefSource
 	rpi     float64
 	cur     int
 
@@ -110,8 +111,8 @@ func NewCombinedMachine(b workload.Benchmark, seed uint64, sizes []int, p cache.
 	if m.clk, err = clock.NewSystem(sources, initID, penaltyCycles); err != nil {
 		return nil, err
 	}
-	m.istream = workload.NewInstrStream(b, seed)
-	m.trace = workload.NewAddressTrace(b, seed)
+	m.istream = trace.InstrSourceFor(b, seed)
+	m.refs = trace.RefSourceFor(b, seed)
 	m.cur = initID
 	return m, nil
 }
@@ -191,7 +192,7 @@ func (m *CombinedMachine) SetConfig(id int) (int64, error) {
 func (m *CombinedMachine) RunInterval(n int64) Sample {
 	t := m.timings[m.cur/len(m.sizes)+1]
 	st := m.core.RunWithLoads(m.istream, n, m.rpi, func(write bool) int64 {
-		r := m.trace.Next()
+		r := m.refs.Next()
 		switch m.hier.Access(r.Addr, r.Write || write) {
 		case cache.L1Hit:
 			return 0

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"capsim/internal/cache"
+	"capsim/internal/tech"
+	"capsim/internal/trace"
+	"capsim/internal/workload"
+)
+
+// withLegacy runs f with the shared-trace path disabled, restoring the
+// default afterwards and discarding any stores materialized either side.
+func withLegacy(f func()) {
+	trace.Reset()
+	trace.SetEnabled(false)
+	defer func() {
+		trace.SetEnabled(true)
+		trace.Reset()
+	}()
+	f()
+}
+
+// TestProfileCacheTPIOnepass is the acceptance gate of the one-pass engine:
+// ProfileCacheTPI must return bit-identical (TPI, TPImiss) tables whether it
+// evaluates all boundaries in one pass over the shared trace (default) or
+// sweeps one independent machine per boundary (-onepass=false). Equality is
+// exact float64 equality, not approximate.
+func TestProfileCacheTPIOnepass(t *testing.T) {
+	p := cache.PaperParams()
+	for _, name := range []string{"gcc", "compress", "swim"} {
+		b := workload.MustByName(name)
+		trace.Reset()
+		oneTPI, oneMiss, err := ProfileCacheTPI(b, 1998, p, PaperMaxBoundary, 20000, 80000)
+		if err != nil {
+			t.Fatalf("%s onepass: %v", name, err)
+		}
+		var legTPI, legMiss []float64
+		withLegacy(func() {
+			legTPI, legMiss, err = ProfileCacheTPI(b, 1998, p, PaperMaxBoundary, 20000, 80000)
+		})
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+		if len(oneTPI) != len(legTPI) || len(oneMiss) != len(legMiss) {
+			t.Fatalf("%s: length mismatch", name)
+		}
+		for k := 1; k <= PaperMaxBoundary; k++ {
+			if oneTPI[k] != legTPI[k] {
+				t.Errorf("%s boundary %d: TPI onepass %v != legacy %v", name, k, oneTPI[k], legTPI[k])
+			}
+			if oneMiss[k] != legMiss[k] {
+				t.Errorf("%s boundary %d: TPImiss onepass %v != legacy %v", name, k, oneMiss[k], legMiss[k])
+			}
+		}
+	}
+}
+
+// TestProfileQueueTPIOnepass checks the queue-side stream sharing: replaying
+// the materialized instruction store must give bit-identical TPI to private
+// per-cell generators.
+func TestProfileQueueTPIOnepass(t *testing.T) {
+	b := workload.MustByName("gcc")
+	sizes := PaperQueueSizes()
+	trace.Reset()
+	one, err := ProfileQueueTPI(b, 1998, sizes, 30000, tech.Micron018)
+	if err != nil {
+		t.Fatalf("onepass: %v", err)
+	}
+	var leg []float64
+	withLegacy(func() {
+		leg, err = ProfileQueueTPI(b, 1998, sizes, 30000, tech.Micron018)
+	})
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	for i := range sizes {
+		if one[i] != leg[i] {
+			t.Errorf("size %d: TPI onepass %v != legacy %v", sizes[i], one[i], leg[i])
+		}
+	}
+}
+
+// TestRunCacheOnepass drives a full policy-driven adaptive run (interval
+// machine, clock switches and all) under both source paths and demands
+// bit-identical aggregates — the cursors must be indistinguishable from the
+// generators even mid-run.
+func TestRunCacheOnepass(t *testing.T) {
+	p := cache.PaperParams()
+	b := workload.MustByName("gcc")
+	run := func() CacheRunResult {
+		m, err := NewCacheMachine(b, 7, p, PaperMaxBoundary, 2, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs := make([]int, PaperMaxBoundary)
+		for i := range configs {
+			configs[i] = i + 1
+		}
+		pol := &IntervalPolicy{Configs: configs}
+		return RunCache(m, pol, 40, 2000, false)
+	}
+	trace.Reset()
+	one := run()
+	var leg CacheRunResult
+	withLegacy(func() { leg = run() })
+	if one.TPI != leg.TPI || one.TPIMiss != leg.TPIMiss ||
+		one.Refs != leg.Refs || one.Switches != leg.Switches {
+		t.Errorf("adaptive cache run diverged:\n onepass: %+v\n legacy:  %+v", one, leg)
+	}
+}
+
+// TestProfileCacheTPIOnepassErrors locks error propagation on the one-pass
+// path (no memory profile, bad boundary).
+func TestProfileCacheTPIOnepassErrors(t *testing.T) {
+	trace.Reset()
+	defer trace.Reset()
+	p := cache.PaperParams()
+	noMem := workload.Benchmark{Name: "synthetic", ILP: workload.MustByName("gcc").ILP}
+	if _, _, err := ProfileCacheTPI(noMem, 1, p, PaperMaxBoundary, 0, 1000); err == nil {
+		t.Error("missing memory profile accepted")
+	}
+	if _, _, err := ProfileCacheTPI(workload.MustByName("gcc"), 1, p, p.Increments, 0, 1000); err == nil {
+		t.Error("out-of-range boundary accepted")
+	}
+}

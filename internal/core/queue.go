@@ -8,6 +8,7 @@ import (
 	"capsim/internal/palacharla"
 	"capsim/internal/sweep"
 	"capsim/internal/tech"
+	"capsim/internal/trace"
 	"capsim/internal/workload"
 )
 
@@ -26,7 +27,7 @@ type QueueMachine struct {
 
 	core   *ooo.Core
 	clk    *clock.System
-	stream *workload.InstrStream
+	stream workload.InstrSource
 	cur    int
 
 	instrs int64
@@ -70,7 +71,7 @@ func NewQueueMachine(b workload.Benchmark, seed uint64, sizes []int, initial int
 		configs: configs,
 		core:    c,
 		clk:     clk,
-		stream:  workload.NewInstrStream(b, seed),
+		stream:  trace.InstrSourceFor(b, seed),
 		cur:     initial,
 	}, nil
 }
@@ -202,11 +203,15 @@ func ProfileQueueConfig(b workload.Benchmark, seed uint64, sizes []int, i int, i
 	return m.TotalTPI(), nil
 }
 
-// ProfileQueueTPI runs each configuration on a fresh machine + stream for
-// the given instruction budget and returns TPI as a dense slice indexed by
+// ProfileQueueTPI runs each configuration on a fresh machine for the given
+// instruction budget and returns TPI as a dense slice indexed by
 // configuration ID — the profiling pass the paper's process-level scheme
 // assumes a CAP compiler or runtime performs. Configurations are swept in
-// parallel across the sweep pool.
+// parallel across the sweep pool. Unlike the cache study, the pipeline
+// simulation itself is configuration-dependent (the issue window differs),
+// so each configuration still simulates separately — but with the shared
+// trace path enabled every worker replays ONE materialized instruction
+// stream through a private cursor instead of regenerating it per cell.
 func ProfileQueueTPI(b workload.Benchmark, seed uint64, sizes []int, instrs int64, f tech.FeatureSize) ([]float64, error) {
 	return sweep.Run(len(sizes), func(i int) (float64, error) {
 		return ProfileQueueConfig(b, seed, sizes, i, instrs, f)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"capsim/internal/core"
 	"capsim/internal/memo"
@@ -41,11 +40,12 @@ func cacheStudyKey(cfg Config) string {
 	return fmt.Sprintf("%d/%d/%d/%v/%+v", cfg.Seed, cfg.CacheWarmRefs, cfg.CacheRefs, cfg.Feature, cfg.CacheParams)
 }
 
-// runCacheStudy profiles every application at every boundary. The
-// (application x boundary) grid — 21 x 8 for the paper's setup — is fanned
-// out across the sweep pool; every cell builds its own machine and rng
-// streams, and results land at their grid index, so the output is
-// byte-identical at any worker count.
+// runCacheStudy profiles every application at every boundary. Applications —
+// 21 for the paper's setup — fan out across the sweep pool; within each
+// application core.ProfileCacheTPI evaluates the whole boundary family in one
+// pass over the shared materialized trace (or, with -onepass=false, sweeps
+// the 8 boundaries as nested jobs). Results land at their slice index, so the
+// output is byte-identical at any worker count and on either path.
 func runCacheStudy(cfg Config) (*cacheStudy, error) {
 	return cacheStudies.Do(cacheStudyKey(cfg), func() (*cacheStudy, error) {
 		s := &cacheStudy{
@@ -54,23 +54,17 @@ func runCacheStudy(cfg Config) (*cacheStudy, error) {
 			tpiMiss: map[string][]float64{},
 		}
 		nB := core.PaperMaxBoundary
-		type cell struct{ tpi, miss float64 }
-		grid, err := sweep.Grid(len(s.apps), nB, func(a, i int) (cell, error) {
-			tpi, miss, err := core.ProfileCacheBoundary(s.apps[a], cfg.Seed, cfg.CacheParams, nB, i+1, cfg.CacheWarmRefs, cfg.CacheRefs)
+		type cell struct{ tpi, miss []float64 }
+		rows, err := sweep.Run(len(s.apps), func(a int) (cell, error) {
+			tpi, miss, err := core.ProfileCacheTPI(s.apps[a], cfg.Seed, cfg.CacheParams, nB, cfg.CacheWarmRefs, cfg.CacheRefs)
 			return cell{tpi, miss}, err
 		})
 		if err != nil {
 			return nil, err
 		}
 		for a, b := range s.apps {
-			tpi := make([]float64, nB+1)
-			miss := make([]float64, nB+1)
-			tpi[0], miss[0] = math.Inf(1), math.Inf(1)
-			for i, c := range grid[a] {
-				tpi[i+1], miss[i+1] = c.tpi, c.miss
-			}
-			s.tpi[b.Name] = tpi
-			s.tpiMiss[b.Name] = miss
+			s.tpi[b.Name] = rows[a].tpi
+			s.tpiMiss[b.Name] = rows[a].miss
 		}
 		// Best conventional configuration: smallest workload-average TPI.
 		bestK, bestAvg := 0, 0.0

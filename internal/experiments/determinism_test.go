@@ -4,24 +4,28 @@ import (
 	"testing"
 
 	"capsim/internal/sweep"
+	"capsim/internal/trace"
 )
 
-// TestParallelDeterminism locks the tentpole contract of the sweep engine:
-// every experiment renders byte-identically whether the sweeps run serially
-// (workers=1) or fanned out (workers=8). Each pass starts from a cold study
-// memo — otherwise the second pass would trivially replay the first pass's
-// numbers instead of re-running the compute under the other schedule. Run
-// with -race to also certify the worker pool's memory discipline across the
-// full driver set.
+// TestParallelDeterminism locks the tentpole contract of the sweep engine AND
+// of the shared-trace one-pass path: every experiment renders byte-identically
+// whether the sweeps run serially (workers=1) or fanned out (workers=8), and
+// whether the profiling passes replay the shared materialized trace stores
+// (onepass, the default) or regenerate every stream per cell (the legacy
+// oracle, capsim -onepass=false). Each pass starts from a cold study memo and
+// cold trace stores — otherwise the second pass would trivially replay the
+// first pass's numbers instead of re-running the compute under the other
+// schedule. Run with -race to also certify the worker pool's and the chunked
+// stores' memory discipline across the full driver set.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("renders every experiment twice")
+		t.Skip("renders every experiment three times")
 	}
 	cfg := fastConfig()
-	// Trim budgets further: this test runs the complete registry twice, and
-	// must fit the per-package budget under -race on one core. IntervalInstrs
-	// drives the Section 6 studies (fixed interval counts x interval length),
-	// which dominate the registry's wall time.
+	// Trim budgets further: this test runs the complete registry three times,
+	// and must fit the per-package budget under -race on one core.
+	// IntervalInstrs drives the Section 6 studies (fixed interval counts x
+	// interval length), which dominate the registry's wall time.
 	cfg.CacheWarmRefs = 5_000
 	cfg.CacheRefs = 20_000
 	cfg.QueueInstrs = 10_000
@@ -29,25 +33,38 @@ func TestParallelDeterminism(t *testing.T) {
 
 	old := sweep.DefaultWorkers()
 	defer sweep.SetDefaultWorkers(old)
+	defer trace.SetEnabled(true)
 
-	render := func(workers int) map[string]string {
+	render := func(workers int, onepass bool) map[string]string {
 		sweep.SetDefaultWorkers(workers)
+		trace.SetEnabled(onepass)
 		ResetCaches()
 		out := map[string]string{}
 		for _, id := range IDs() {
 			res, err := Run(id, cfg)
 			if err != nil {
-				t.Fatalf("workers=%d %s: %v", workers, id, err)
+				t.Fatalf("workers=%d onepass=%v %s: %v", workers, onepass, id, err)
 			}
 			out[id] = res.Render()
 		}
 		return out
 	}
-	serial := render(1)
-	parallel := render(8)
-	for _, id := range IDs() {
-		if serial[id] != parallel[id] {
-			t.Errorf("%s: render differs between workers=1 and workers=8", id)
+	passes := []struct {
+		name    string
+		workers int
+		onepass bool
+	}{
+		{"serial/onepass", 1, true},
+		{"parallel/onepass", 8, true},
+		{"parallel/legacy", 8, false},
+	}
+	ref := render(passes[0].workers, passes[0].onepass)
+	for _, p := range passes[1:] {
+		got := render(p.workers, p.onepass)
+		for _, id := range IDs() {
+			if ref[id] != got[id] {
+				t.Errorf("%s: render differs between %s and %s", id, passes[0].name, p.name)
+			}
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"capsim/internal/cache"
 	"capsim/internal/metrics"
 	"capsim/internal/tech"
+	"capsim/internal/trace"
 )
 
 // Config holds the run budgets. The paper uses 100 M references /
@@ -134,13 +135,15 @@ func Title(id string) (string, error) {
 	return e.title, nil
 }
 
-// ResetCaches discards the memoized cache- and queue-study profiling passes.
-// Long-lived processes that sweep many configurations can call it to bound
-// memory; the determinism tests call it between serial and parallel passes
-// so the comparison re-runs the full compute instead of hitting the memo.
+// ResetCaches discards the memoized cache- and queue-study profiling passes
+// and the shared materialized trace stores. Long-lived processes that sweep
+// many configurations can call it to bound memory; the determinism tests call
+// it between serial and parallel passes so the comparison re-runs the full
+// compute instead of hitting the memo.
 func ResetCaches() {
 	cacheStudies.Reset()
 	queueStudies.Reset()
+	trace.Reset()
 }
 
 // Run executes the experiment with the given configuration.

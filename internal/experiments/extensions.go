@@ -7,6 +7,7 @@ import (
 	"capsim/internal/metrics"
 	"capsim/internal/sweep"
 	"capsim/internal/tlb"
+	"capsim/internal/trace"
 	"capsim/internal/workload"
 )
 
@@ -31,19 +32,20 @@ func ablationTLB(cfg Config) (Result, error) {
 			"backup best", "backup config", "backup advantage"},
 	}
 	apps := []string{"gcc", "vortex", "stereo", "applu", "appcg"}
-	// Every (application, mode, group count) cell replays its own address
-	// trace from the master seed and shares nothing with its neighbours:
-	// fan the whole application x (2 modes x Groups) grid across the sweep
-	// pool and reduce each row to its per-mode best serially (the reduction
-	// scans groups in ascending order, so the first-strictly-smaller
-	// tie-break matches the old serial loop).
+	// Every (application, mode, group count) cell replays the application's
+	// reference stream from the master seed through a private cursor over the
+	// shared materialized store (trace.RefSourceFor) and shares no mutable
+	// state with its neighbours: fan the whole application x (2 modes x
+	// Groups) grid across the sweep pool and reduce each row to its per-mode
+	// best serially (the reduction scans groups in ascending order, so the
+	// first-strictly-smaller tie-break matches the old serial loop).
 	grid, err := sweep.Grid(len(apps), 2*p.Groups, func(a, j int) (float64, error) {
 		b, err := workload.ByName(apps[a])
 		if err != nil {
 			return 0, err
 		}
 		g, backup := j%p.Groups+1, j >= p.Groups
-		tr := workload.NewAddressTrace(b, cfg.Seed)
+		tr := trace.RefSourceFor(b, cfg.Seed)
 		var tb *tlb.TLB
 		if backup {
 			tb, err = tlb.New(p, g)

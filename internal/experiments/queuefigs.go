@@ -33,10 +33,12 @@ func queueStudyKey(cfg Config) string {
 	return fmt.Sprintf("%d/%d/%v", cfg.Seed, cfg.QueueInstrs, cfg.Feature)
 }
 
-// runQueueStudy profiles every application at every queue size, fanning the
-// (application x size) grid — 22 x 8 for the paper's setup — across the
-// sweep pool. Results are collected by grid index, never by completion
-// order, so output is byte-identical at any worker count.
+// runQueueStudy profiles every application at every queue size. Applications
+// — 22 for the paper's setup — fan out across the sweep pool; within each,
+// core.ProfileQueueTPI sweeps the 8 configurations as nested jobs, all
+// replaying the application's single materialized instruction stream.
+// Results are collected by index, never by completion order, so output is
+// byte-identical at any worker count.
 func runQueueStudy(cfg Config) (*queueStudy, error) {
 	return queueStudies.Do(queueStudyKey(cfg), func() (*queueStudy, error) {
 		s := &queueStudy{
@@ -44,14 +46,14 @@ func runQueueStudy(cfg Config) (*queueStudy, error) {
 			sizes: core.PaperQueueSizes(),
 			tpi:   map[string][]float64{},
 		}
-		grid, err := sweep.Grid(len(s.apps), len(s.sizes), func(a, i int) (float64, error) {
-			return core.ProfileQueueConfig(s.apps[a], cfg.Seed, s.sizes, i, cfg.QueueInstrs, cfg.Feature)
+		rows, err := sweep.Run(len(s.apps), func(a int) ([]float64, error) {
+			return core.ProfileQueueTPI(s.apps[a], cfg.Seed, s.sizes, cfg.QueueInstrs, cfg.Feature)
 		})
 		if err != nil {
 			return nil, err
 		}
 		for a, b := range s.apps {
-			s.tpi[b.Name] = grid[a]
+			s.tpi[b.Name] = rows[a]
 		}
 		bestI, bestAvg := -1, 0.0
 		for i := range s.sizes {

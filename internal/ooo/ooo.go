@@ -159,7 +159,7 @@ func (c *Core) Occupancy() int { return len(c.window) }
 // stream as needed, and returns the statistics delta for this run. Issued
 // instructions are the paper's measurement unit (TPI over a fixed
 // instruction count).
-func (c *Core) Run(stream *workload.InstrStream, n int64) Stats {
+func (c *Core) Run(stream workload.InstrSource, n int64) Stats {
 	before := c.stats
 	target := c.stats.Issued + n
 	for c.stats.Issued < target {
@@ -173,7 +173,7 @@ func (c *Core) Run(stream *workload.InstrStream, n int64) Stats {
 // operations whose extra completion latency is supplied by memLat (cycles
 // beyond a pipelined L1 hit). The CombinedMachine uses this to couple the
 // adaptive queue to the live adaptive cache hierarchy.
-func (c *Core) RunWithLoads(stream *workload.InstrStream, n int64, rpi float64, memLat func(write bool) int64) Stats {
+func (c *Core) RunWithLoads(stream workload.InstrSource, n int64, rpi float64, memLat func(write bool) int64) Stats {
 	if rpi < 0 {
 		rpi = 0
 	}
@@ -188,7 +188,7 @@ func (c *Core) RunWithLoads(stream *workload.InstrStream, n int64, rpi float64, 
 // Step advances the machine by one cycle: dispatch up to IssueWidth new
 // instructions into free window slots, then wake up and select up to
 // IssueWidth ready instructions to issue.
-func (c *Core) Step(stream *workload.InstrStream) {
+func (c *Core) Step(stream workload.InstrSource) {
 	c.cycle++
 	c.stats.Cycles++
 

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Geometry is the part of a cache organization that determines the
+// (set, tag) decomposition of an address. By the paper's constant-index
+// mapping rule, every boundary position of one adaptive hierarchy shares one
+// Geometry — which is exactly why a single decoded stream serves the whole
+// boundary family.
+type Geometry struct {
+	BlockBytes int
+	Sets       int
+}
+
+// Validate reports whether the geometry is decodable.
+func (g Geometry) Validate() error {
+	if g.BlockBytes <= 0 || g.BlockBytes&(g.BlockBytes-1) != 0 {
+		return fmt.Errorf("trace: block size %d must be a positive power of two", g.BlockBytes)
+	}
+	if g.Sets <= 0 {
+		return fmt.Errorf("trace: set count %d must be positive", g.Sets)
+	}
+	return nil
+}
+
+// decKey identifies one decoded stream: source-store identity x geometry.
+type decKey struct {
+	src *RefStore
+	geo Geometry
+}
+
+// decChunk is one immutable span of ChunkLen decoded references.
+type decChunk struct {
+	sets [ChunkLen]int32
+	tags [ChunkLen]uint64
+}
+
+// DecodedStore caches the (set, tag) decomposition of a RefStore for one
+// geometry, chunk-aligned with the source so a cursor can read the write
+// bitset and the decoded fields in lockstep. Like the source stores it is
+// append-only with atomically published immutable chunks.
+type DecodedStore struct {
+	src *RefStore
+	geo Geometry
+
+	// Power-of-two fast decode (blockShift/setMask/setShift) when Sets is a
+	// power of two; div/mod fallback otherwise. Both produce identical
+	// values — shift/mask IS div/mod for powers of two.
+	pow2       bool
+	blockShift uint
+	setMask    uint64
+	setShift   uint
+
+	mu     sync.Mutex
+	chunks atomic.Pointer[[]*decChunk]
+}
+
+// DecodedFor returns the decoded stream of store s under geometry g,
+// memoized per (store, geometry) with singleflight semantics. It panics on
+// an invalid geometry (callers validate their cache parameters first).
+func DecodedFor(s *RefStore, g Geometry) *DecodedStore {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return decStores.Get(decKey{s, g}, func() *DecodedStore {
+		d := &DecodedStore{src: s, geo: g}
+		d.blockShift = uint(bits.TrailingZeros(uint(g.BlockBytes)))
+		if g.Sets&(g.Sets-1) == 0 {
+			d.pow2 = true
+			d.setShift = uint(bits.TrailingZeros(uint(g.Sets)))
+			d.setMask = uint64(g.Sets - 1)
+		}
+		return d
+	})
+}
+
+// Decode splits one address into its (set, tag) pair under the store's
+// geometry; exported for tests that cross-check against cache.Hierarchy.
+func (d *DecodedStore) Decode(addr uint64) (set int32, tag uint64) {
+	block := addr >> d.blockShift
+	if d.pow2 {
+		return int32(block & d.setMask), block >> d.setShift
+	}
+	return int32(block % uint64(d.geo.Sets)), block / uint64(d.geo.Sets)
+}
+
+// Len returns the number of decoded references.
+func (d *DecodedStore) Len() int64 {
+	if cs := d.chunks.Load(); cs != nil {
+		return int64(len(*cs)) * ChunkLen
+	}
+	return 0
+}
+
+// ensure decodes chunks until at least n references are available,
+// materializing the source as needed.
+func (d *DecodedStore) ensure(n int64) {
+	if d.Len() >= n {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var cur []*decChunk
+	if cs := d.chunks.Load(); cs != nil {
+		cur = *cs
+	}
+	for int64(len(cur))*ChunkLen < n {
+		src := d.src.chunk(int64(len(cur)))
+		c := new(decChunk)
+		for i := 0; i < ChunkLen; i++ {
+			c.sets[i], c.tags[i] = d.Decode(src.addrs[i])
+		}
+		next := make([]*decChunk, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = c
+		cur = next
+		d.chunks.Store(&next)
+	}
+}
+
+// chunk returns the ci-th decoded chunk, decoding as needed.
+func (d *DecodedStore) chunk(ci int64) *decChunk {
+	cs := d.chunks.Load()
+	if cs == nil || ci >= int64(len(*cs)) {
+		d.ensure((ci + 1) * ChunkLen)
+		cs = d.chunks.Load()
+	}
+	return (*cs)[ci]
+}
+
+// Cursor returns a replay cursor over the decoded stream. Not safe for
+// concurrent use; each goroutine takes its own.
+func (d *DecodedStore) Cursor() *DecodedCursor { return &DecodedCursor{d: d, idx: ChunkLen} }
+
+// DecodedCursor replays pre-decoded (set, tag, write) references in stream
+// order. It implements cache.DecodedSource.
+type DecodedCursor struct {
+	d   *DecodedStore
+	ci  int64
+	idx int
+	dec *decChunk
+	src *refChunk
+}
+
+// NextDecoded returns the next reference's set index, tag and write flag.
+func (c *DecodedCursor) NextDecoded() (set int32, tag uint64, write bool) {
+	if c.idx == ChunkLen {
+		c.dec = c.d.chunk(c.ci)
+		c.src = c.d.src.chunk(c.ci)
+		c.ci++
+		c.idx = 0
+	}
+	i := c.idx
+	c.idx++
+	return c.dec.sets[i], c.dec.tags[i], c.src.writes[i>>6]>>(uint(i)&63)&1 == 1
+}

@@ -1,0 +1,328 @@
+// Package trace is the shared materialized-trace infrastructure behind the
+// one-pass multi-configuration profiling path.
+//
+// The paper's configuration manager needs per-application profiles of every
+// boundary/queue configuration, and every profile cell replays the *same*
+// deterministic reference stream: all cells for one (benchmark, seed) derive
+// their randomness from rng.DeriveSeed(seed, name+"/purpose") regardless of
+// the configuration under test. Re-generating that stream per cell — eight
+// times per application for the cache study, eight more for the queue study —
+// is pure waste. This package materializes each stream once, behind
+// internal/memo singleflight, into an append-only chunked store that every
+// sweep worker shares read-only through cheap replay cursors:
+//
+//   - RefStore: the data-reference stream as structure-of-arrays chunks
+//     (packed Addrs []uint64 plus a write bitset, ~8.125 MB per 1M refs);
+//   - OpStore: the dynamic instruction stream as packed workload.Instr
+//     chunks (12 B per instruction);
+//   - DecodedStore: the (set, tag) decomposition of a RefStore for one cache
+//     geometry, memoized per (store, geometry) so every boundary position —
+//     which shares the set mapping by the paper's constant-index rule —
+//     decodes each reference exactly once (12 B per ref per geometry).
+//
+// Stores grow lazily: a cursor that runs past the materialized prefix
+// extends the store by whole chunks under the store's lock, then publishes
+// the new chunk list atomically. Published chunks are immutable, so readers
+// never synchronize with each other; replay is bit-identical to running the
+// generator directly, at any worker count.
+//
+// The Enabled switch (cmd/capsim -onepass) selects between shared replay
+// cursors and private per-machine generators, giving an A/B escape hatch:
+// both paths produce byte-identical simulation results, differing only in
+// wall time and memory.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"capsim/internal/memo"
+	"capsim/internal/workload"
+)
+
+// ChunkLen is the number of references (or instructions) per store chunk.
+// Chunks are generated whole before being published, so ChunkLen bounds both
+// the generation batch and the over-materialization past the furthest cursor.
+const ChunkLen = 1 << 15
+
+// enabled gates the shared-store path; see SetEnabled. Stored inverted so
+// the zero value means "enabled" (the default).
+var disabled atomic.Bool
+
+// SetEnabled turns the shared materialized-trace path on or off
+// process-wide. Disabled, RefSourceFor/InstrSourceFor hand out private
+// generators exactly as the pre-one-pass code did; results are byte-identical
+// either way (cmd/capsim exposes this as -onepass for A/B runs).
+func SetEnabled(v bool) { disabled.Store(!v) }
+
+// Enabled reports whether the shared materialized-trace path is active.
+func Enabled() bool { return !disabled.Load() }
+
+// --- store keys -----------------------------------------------------------
+
+// refKey identifies one materialized reference stream. The memory profile's
+// pointer identity plus the name (which seeds the rng stream) and seed
+// describe the generated stream completely: workload's registry hands out
+// benchmark values sharing one canonical *MemProfile per application, and a
+// test-constructed profile has its own pointer.
+type refKey struct {
+	mem  *workload.MemProfile
+	name string
+	seed uint64
+}
+
+// opKey identifies one materialized instruction stream. ILPProfile contains
+// slices and so cannot key a map directly; fingerprint renders it to a
+// deterministic value string.
+type opKey struct {
+	name        string
+	seed        uint64
+	fingerprint string
+}
+
+// ilpFingerprint renders an ILP profile as a value string (dereferencing Alt
+// so the key never depends on pointer identity).
+func ilpFingerprint(p workload.ILPProfile) string {
+	alt := "-"
+	if p.Alt != nil {
+		alt = fmt.Sprintf("%+v", *p.Alt)
+	}
+	return fmt.Sprintf("%+v|%s|%d|%d|%d", p.Base, alt, p.Kind, p.PeriodInstrs, p.SuperPeriodInstrs)
+}
+
+var (
+	refStores memo.Memo[refKey, *RefStore]
+	opStores  memo.Memo[opKey, *OpStore]
+	decStores memo.Memo[decKey, *DecodedStore]
+)
+
+// Reset discards every memoized store (reference, instruction and decoded).
+// Long-lived processes can call it to bound memory; the determinism tests
+// call it between passes so each pass re-materializes from scratch.
+func Reset() {
+	refStores.Reset()
+	opStores.Reset()
+	decStores.Reset()
+}
+
+// StoreCounts reports how many reference, instruction and decoded stores are
+// currently memoized (diagnostics and tests).
+func StoreCounts() (refs, ops, decoded int) {
+	return refStores.Len(), opStores.Len(), decStores.Len()
+}
+
+// --- reference store ------------------------------------------------------
+
+// refChunk is one immutable span of ChunkLen references in
+// structure-of-arrays form: packed addresses plus a write bitset.
+type refChunk struct {
+	addrs  [ChunkLen]uint64
+	writes [ChunkLen / 64]uint64
+}
+
+// RefStore is an append-only materialized data-reference stream. One exists
+// per (benchmark, seed); every sweep worker replays it through private
+// cursors. Chunks are generated whole under mu, published by swapping the
+// chunk-list pointer, and never mutated afterwards.
+type RefStore struct {
+	mu     sync.Mutex
+	gen    *workload.AddressTrace // guarded by mu
+	chunks atomic.Pointer[[]*refChunk]
+}
+
+// RefsFor returns the shared reference store for (b, seed), creating it
+// (empty) on first use with singleflight semantics.
+func RefsFor(b workload.Benchmark, seed uint64) *RefStore {
+	if b.Mem == nil {
+		panic("trace: " + b.Name + " has no memory profile")
+	}
+	return refStores.Get(refKey{b.Mem, b.Name, seed}, func() *RefStore {
+		return &RefStore{gen: workload.NewAddressTrace(b, seed)}
+	})
+}
+
+// Len returns the number of materialized references.
+func (s *RefStore) Len() int64 {
+	if cs := s.chunks.Load(); cs != nil {
+		return int64(len(*cs)) * ChunkLen
+	}
+	return 0
+}
+
+// ensure materializes chunks until at least n references exist.
+func (s *RefStore) ensure(n int64) {
+	if s.Len() >= n {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cur []*refChunk
+	if cs := s.chunks.Load(); cs != nil {
+		cur = *cs
+	}
+	for int64(len(cur))*ChunkLen < n {
+		c := new(refChunk)
+		for i := 0; i < ChunkLen; i++ {
+			r := s.gen.Next()
+			c.addrs[i] = r.Addr
+			if r.Write {
+				c.writes[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		next := make([]*refChunk, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = c
+		cur = next
+		s.chunks.Store(&next)
+	}
+}
+
+// chunk returns the ci-th chunk, materializing it (and its predecessors) if
+// necessary.
+func (s *RefStore) chunk(ci int64) *refChunk {
+	cs := s.chunks.Load()
+	if cs == nil || ci >= int64(len(*cs)) {
+		s.ensure((ci + 1) * ChunkLen)
+		cs = s.chunks.Load()
+	}
+	return (*cs)[ci]
+}
+
+// Cursor returns a replay cursor positioned at the start of the stream. The
+// cursor is not safe for concurrent use; each goroutine takes its own.
+func (s *RefStore) Cursor() *RefCursor { return &RefCursor{s: s, idx: ChunkLen} }
+
+// RefCursor replays a RefStore from the beginning, extending the store on
+// demand. It implements workload.RefSource, so a simulator cannot tell it
+// from the live generator.
+type RefCursor struct {
+	s   *RefStore
+	ci  int64 // index of the NEXT chunk to load
+	idx int   // position within the current chunk; ChunkLen forces a load
+	c   *refChunk
+}
+
+// Next returns the next reference in the stream.
+func (c *RefCursor) Next() workload.Ref {
+	if c.idx == ChunkLen {
+		c.c = c.s.chunk(c.ci)
+		c.ci++
+		c.idx = 0
+	}
+	i := c.idx
+	c.idx++
+	return workload.Ref{
+		Addr:  c.c.addrs[i],
+		Write: c.c.writes[i>>6]>>(uint(i)&63)&1 == 1,
+	}
+}
+
+// --- instruction store ----------------------------------------------------
+
+// opChunk is one immutable span of ChunkLen instructions.
+type opChunk struct {
+	ops [ChunkLen]workload.Instr
+}
+
+// OpStore is an append-only materialized instruction stream, the queue-side
+// counterpart of RefStore.
+type OpStore struct {
+	mu     sync.Mutex
+	gen    *workload.InstrStream // guarded by mu
+	chunks atomic.Pointer[[]*opChunk]
+}
+
+// OpsFor returns the shared instruction store for (b, seed), creating it on
+// first use with singleflight semantics.
+func OpsFor(b workload.Benchmark, seed uint64) *OpStore {
+	return opStores.Get(opKey{b.Name, seed, ilpFingerprint(b.ILP)}, func() *OpStore {
+		return &OpStore{gen: workload.NewInstrStream(b, seed)}
+	})
+}
+
+// Len returns the number of materialized instructions.
+func (s *OpStore) Len() int64 {
+	if cs := s.chunks.Load(); cs != nil {
+		return int64(len(*cs)) * ChunkLen
+	}
+	return 0
+}
+
+// ensure materializes chunks until at least n instructions exist.
+func (s *OpStore) ensure(n int64) {
+	if s.Len() >= n {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cur []*opChunk
+	if cs := s.chunks.Load(); cs != nil {
+		cur = *cs
+	}
+	for int64(len(cur))*ChunkLen < n {
+		c := new(opChunk)
+		for i := 0; i < ChunkLen; i++ {
+			c.ops[i] = s.gen.Next()
+		}
+		next := make([]*opChunk, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = c
+		cur = next
+		s.chunks.Store(&next)
+	}
+}
+
+// chunk returns the ci-th chunk, materializing as needed.
+func (s *OpStore) chunk(ci int64) *opChunk {
+	cs := s.chunks.Load()
+	if cs == nil || ci >= int64(len(*cs)) {
+		s.ensure((ci + 1) * ChunkLen)
+		cs = s.chunks.Load()
+	}
+	return (*cs)[ci]
+}
+
+// Cursor returns a replay cursor positioned at the start of the stream.
+func (s *OpStore) Cursor() *OpCursor { return &OpCursor{s: s, idx: ChunkLen} }
+
+// OpCursor replays an OpStore from the beginning. It implements
+// workload.InstrSource.
+type OpCursor struct {
+	s   *OpStore
+	ci  int64
+	idx int
+	c   *opChunk
+}
+
+// Next returns the next instruction in the stream.
+func (c *OpCursor) Next() workload.Instr {
+	if c.idx == ChunkLen {
+		c.c = c.s.chunk(c.ci)
+		c.ci++
+		c.idx = 0
+	}
+	i := c.idx
+	c.idx++
+	return c.c.ops[i]
+}
+
+// --- source selection -----------------------------------------------------
+
+// RefSourceFor returns the reference stream for (b, seed): a shared-store
+// replay cursor when the one-pass path is enabled, or a private generator
+// when it is not. Both yield the identical sequence.
+func RefSourceFor(b workload.Benchmark, seed uint64) workload.RefSource {
+	if Enabled() {
+		return RefsFor(b, seed).Cursor()
+	}
+	return workload.NewAddressTrace(b, seed)
+}
+
+// InstrSourceFor is RefSourceFor for the instruction stream.
+func InstrSourceFor(b workload.Benchmark, seed uint64) workload.InstrSource {
+	if Enabled() {
+		return OpsFor(b, seed).Cursor()
+	}
+	return workload.NewInstrStream(b, seed)
+}

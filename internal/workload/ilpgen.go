@@ -13,6 +13,13 @@ type Instr struct {
 	Latency int8
 }
 
+// InstrSource is anything that yields an infinite stream of instructions.
+// *InstrStream (the generator) and internal/trace's replay cursors both
+// implement it.
+type InstrSource interface {
+	Next() Instr
+}
+
 // InstrStream generates the synthetic dynamic instruction stream of a
 // benchmark, applying its phase schedule. The stream is infinite and
 // deterministic for a given seed.

@@ -10,6 +10,14 @@ type Ref struct {
 	Write bool
 }
 
+// RefSource is anything that yields an infinite stream of data references.
+// *AddressTrace (the generator) and internal/trace's replay cursors both
+// implement it, so simulators can run indistinguishably from a live generator
+// or from a shared materialized trace store.
+type RefSource interface {
+	Next() Ref
+}
+
 // AddressTrace generates the synthetic data-reference stream of a benchmark.
 // It is an infinite deterministic stream; callers draw as many references as
 // their budget allows (the paper uses the first 100 M references of each
@@ -85,8 +93,18 @@ func (t *AddressTrace) Next() Ref {
 	return Ref{Addr: addr, Write: t.src.Bool(t.prof.WriteFrac)}
 }
 
-// Fill writes n references into out (allocating if needed) and returns the
-// slice. Convenience for tests and benchmarks.
+// Fill writes n references into out and returns the slice. It reuses out's
+// backing array whenever cap(out) >= n and allocates only otherwise, so a
+// caller that drains the trace in fixed-size batches should pass the returned
+// slice back in:
+//
+//	var buf []Ref
+//	for ... {
+//		buf = tr.Fill(buf, batch) // allocates on the first call only
+//	}
+//
+// Passing nil every call defeats the reuse and pays one allocation per batch
+// (BenchmarkAddressTraceGen tracks the difference).
 func (t *AddressTrace) Fill(out []Ref, n int) []Ref {
 	if cap(out) < n {
 		out = make([]Ref, n)

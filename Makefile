@@ -2,12 +2,14 @@
 # must pass; `make bench` regenerates BENCH_sweep.json (serial vs parallel
 # full-evaluation runs, each in a fresh process so the study memos are cold);
 # `make bench-onepass` regenerates BENCH_onepass.json (legacy per-cell
-# streams vs the shared-trace one-pass profiling path); `make bench-compare`
-# prints the old-vs-new profiling micro-benchmark deltas.
+# streams vs the shared-trace one-pass profiling path); `make bench-queue`
+# regenerates BENCH_queue.json (scan vs event issue engine x onepass on the
+# queue study); `make bench-compare` prints the old-vs-new profiling
+# micro-benchmark deltas.
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt ci bench bench-compare bench-compare-smoke bench-onepass clean
+.PHONY: all build test short race vet fmt ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke clean
 
 all: build
 
@@ -31,7 +33,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race bench-compare-smoke
+ci: fmt vet build race bench-compare-smoke bench-queue-smoke
 
 # bench writes BENCH_sweep.json: a two-element array holding the full
 # -experiment all evaluation measured at -parallel 1 and at -parallel 8,
@@ -84,7 +86,40 @@ bench-onepass:
 	  cat /tmp/capsim_bench_onepass.json; printf ']\n'; } > BENCH_onepass.json
 	@echo "wrote BENCH_onepass.json"
 
+# bench-queue writes BENCH_queue.json: the queue-study profiling pass (fig10
+# regenerates it from cold memos in each fresh process) measured across the
+# issue-engine x onepass grid at a fixed seed, all serial so the comparison
+# is pure compute. The four elements are distinguished by their queue_engine
+# and onepass fields; compare total_wall_ns of the scan/onepass element (the
+# previous default) against event/onepass (the new default) for the headline
+# event-engine speedup.
+bench-queue:
+	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=false -queue-engine scan -bench-json /tmp/capsim_bench_q_scan_legacy.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=true -queue-engine scan -bench-json /tmp/capsim_bench_q_scan_onepass.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=false -queue-engine event -bench-json /tmp/capsim_bench_q_event_legacy.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=true -queue-engine event -bench-json /tmp/capsim_bench_q_event_onepass.json >/dev/null
+	{ printf '[\n'; cat /tmp/capsim_bench_q_scan_legacy.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_q_scan_onepass.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_q_event_legacy.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_q_event_onepass.json; printf ']\n'; } > BENCH_queue.json
+	@echo "wrote BENCH_queue.json"
+
+# bench-queue-smoke is the ci-gated variant: a tiny-budget fig10 run under
+# each issue engine, asserting byte-identical renders (the timing footer is
+# stripped; it is the only line allowed to differ).
+bench-queue-smoke:
+	@$(GO) run ./cmd/capsim -experiment fig10 -parallel 2 -queue-instrs 3000 -queue-engine event \
+		| grep -v '^(fig10 in ' > /tmp/capsim_q_event.txt
+	@$(GO) run ./cmd/capsim -experiment fig10 -parallel 2 -queue-instrs 3000 -queue-engine scan \
+		| grep -v '^(fig10 in ' > /tmp/capsim_q_scan.txt
+	@cmp /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt || \
+		{ echo "queue engines rendered differently"; exit 1; }
+	@echo "bench-queue smoke ok (renders byte-identical across engines)"
+
 clean:
 	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
 	  /tmp/capsim_bench_legacy.json /tmp/capsim_bench_onepass.json \
-	  /tmp/capsim_bench_compare.txt
+	  /tmp/capsim_bench_compare.txt \
+	  /tmp/capsim_bench_q_scan_legacy.json /tmp/capsim_bench_q_scan_onepass.json \
+	  /tmp/capsim_bench_q_event_legacy.json /tmp/capsim_bench_q_event_onepass.json \
+	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt

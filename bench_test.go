@@ -6,6 +6,7 @@ import (
 	"capsim/internal/cache"
 	"capsim/internal/core"
 	"capsim/internal/experiments"
+	"capsim/internal/ooo"
 	"capsim/internal/tech"
 	"capsim/internal/trace"
 	"capsim/internal/workload"
@@ -162,10 +163,12 @@ func BenchmarkCacheProfileOnepass(b *testing.B) { benchCacheProfile(b, true) }
 // machines, each regenerating the reference stream.
 func BenchmarkCacheProfileLegacy(b *testing.B) { benchCacheProfile(b, false) }
 
-func benchQueueProfile(b *testing.B, onepass bool) {
+func benchQueueProfile(b *testing.B, onepass bool, eng ooo.Engine) {
 	bm := workload.MustByName("gcc")
-	defer func() { trace.SetEnabled(true); trace.Reset() }()
+	prev := ooo.DefaultEngine()
+	defer func() { trace.SetEnabled(true); trace.Reset(); ooo.SetDefaultEngine(prev) }()
 	trace.SetEnabled(onepass)
+	ooo.SetDefaultEngine(eng)
 	sizes := core.PaperQueueSizes()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -181,9 +184,20 @@ func benchQueueProfile(b *testing.B, onepass bool) {
 	}
 }
 
-// BenchmarkQueueProfileOnepass profiles all 8 queue sizes, every simulation
-// replaying one shared materialized instruction stream.
-func BenchmarkQueueProfileOnepass(b *testing.B) { benchQueueProfile(b, true) }
+// BenchmarkQueueProfileOnepass profiles all 8 queue sizes in one
+// event-driven MultiCore pass over the shared materialized instruction
+// stream — the default configuration.
+func BenchmarkQueueProfileOnepass(b *testing.B) { benchQueueProfile(b, true, ooo.EngineEvent) }
 
-// BenchmarkQueueProfileLegacy regenerates the instruction stream per size.
-func BenchmarkQueueProfileLegacy(b *testing.B) { benchQueueProfile(b, false) }
+// BenchmarkQueueProfileLegacy regenerates the instruction stream per size
+// (event engine, independent machines).
+func BenchmarkQueueProfileLegacy(b *testing.B) { benchQueueProfile(b, false, ooo.EngineEvent) }
+
+// BenchmarkQueueProfileScanOnepass is the one-pass profile on the per-cycle
+// window-scan engine: isolates the MultiCore stream sharing from the
+// event-driven issue algorithm.
+func BenchmarkQueueProfileScanOnepass(b *testing.B) { benchQueueProfile(b, true, ooo.EngineScan) }
+
+// BenchmarkQueueProfileScanLegacy is the PR 2 baseline: scan engine,
+// per-configuration machines and streams.
+func BenchmarkQueueProfileScanLegacy(b *testing.B) { benchQueueProfile(b, false, ooo.EngineScan) }

@@ -9,6 +9,7 @@
 //	capsim -experiment all -parallel 8 -bench-json BENCH_sweep.json
 //	capsim -experiment fig7 -parallel 1 -cpuprofile fig7.pprof
 //	capsim -experiment fig7 -onepass=false   # legacy per-boundary oracle
+//	capsim -experiment fig10 -queue-engine scan   # per-cycle window-scan engine
 //
 // Output is byte-identical at every -parallel setting: simulation jobs derive
 // their random streams from (seed, benchmark, purpose) and results are
@@ -16,7 +17,10 @@
 // It is also byte-identical at either -onepass setting: the one-pass path
 // (default) profiles every cache boundary in a single replay of a shared
 // materialized trace, while -onepass=false re-generates every stream per
-// configuration cell; only wall time and memory differ.
+// configuration cell; only wall time and memory differ. Likewise
+// -queue-engine selects between the event-driven issue-queue engine (default)
+// and the per-cycle window scan it replaces; the two are bit-identical in
+// every statistic and differ only in asymptotic cost.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"capsim/internal/experiments"
+	"capsim/internal/ooo"
 	"capsim/internal/sweep"
 	"capsim/internal/tech"
 	"capsim/internal/trace"
@@ -53,6 +58,7 @@ type benchReport struct {
 	Command     string        `json:"command"`
 	Parallel    int           `json:"parallel"`
 	Onepass     bool          `json:"onepass"`
+	QueueEngine string        `json:"queue_engine"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
 	NumCPU      int           `json:"num_cpu"`
 	Seed        uint64        `json:"seed"`
@@ -75,6 +81,7 @@ func main() {
 		feature     = flag.Float64("feature", 0.18, "feature size in microns (0.25, 0.18, 0.12)")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = serial; output is identical at any setting)")
 		onepass     = flag.Bool("onepass", true, "profile over the shared materialized trace in one pass (false = legacy per-configuration streams; output is identical either way)")
+		queueEngine = flag.String("queue-engine", "event", "issue-queue engine: 'event' (event-driven wakeup/select) or 'scan' (per-cycle window scan); output is identical either way")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
 	)
@@ -94,6 +101,12 @@ func main() {
 
 	sweep.SetDefaultWorkers(*parallel)
 	trace.SetEnabled(*onepass)
+	eng, err := ooo.ParseEngine(*queueEngine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+		os.Exit(2)
+	}
+	ooo.SetDefaultEngine(eng)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -129,6 +142,7 @@ func main() {
 		Command:     strings.Join(os.Args, " "),
 		Parallel:    sweep.DefaultWorkers(),
 		Onepass:     *onepass,
+		QueueEngine: eng.String(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		Seed:        cfg.Seed,

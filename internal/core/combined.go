@@ -189,6 +189,13 @@ func (m *CombinedMachine) SetConfig(id int) (int64, error) {
 // (pipelined L1 hits cost nothing extra; L2 hits and structure misses add
 // their stall cycles to the consumer-visible latency, a blocking-cache
 // approximation consistent with the paper's cache methodology).
+//
+// The core's fractional-load accumulator deliberately carries over between
+// successive RunInterval calls (see ooo.Core.RunWithLoads): the deterministic
+// refs-per-instruction spacing continues across interval boundaries instead
+// of restarting, so an interval-driven run consumes exactly the same
+// reference sequence — and touches the hierarchy exactly the same number of
+// times — as one unbroken run. TestCombinedLoadCarryOver pins this.
 func (m *CombinedMachine) RunInterval(n int64) Sample {
 	t := m.timings[m.cur/len(m.sizes)+1]
 	st := m.core.RunWithLoads(m.istream, n, m.rpi, func(write bool) int64 {

@@ -129,6 +129,42 @@ func TestRunCombinedWithPolicy(t *testing.T) {
 	}
 }
 
+func TestCombinedLoadCarryOver(t *testing.T) {
+	// The core's fractional-load accumulator must carry across interval
+	// boundaries: a two-interval run consumes exactly the same reference
+	// sequence — same hierarchy touch count, same cycle count — as one
+	// unbroken run of the same total length. If RunWithLoads reset the
+	// accumulator per call, the split run's second interval would restart
+	// the rpi spacing and diverge on both counts.
+	whole := combined(t, "gcc", CombinedConfig{QueueEntries: 64, Boundary: 2})
+	split := combined(t, "gcc", CombinedConfig{QueueEntries: 64, Boundary: 2})
+	whole.RunInterval(40000)
+	split.RunInterval(20000)
+	split.RunInterval(20000)
+	// Interval overshoot telescopes the split run's final issue target past
+	// the unbroken run's; top the shorter machine up to the longer one's
+	// issued count so both stop on the same cycle, then demand exact
+	// equality of every externally visible total.
+	if d := split.Instrs() - whole.Instrs(); d > 0 {
+		whole.RunInterval(d)
+	} else if d < 0 {
+		split.RunInterval(-d)
+	}
+	if whole.Instrs() != split.Instrs() {
+		t.Fatalf("instruction counts differ: %d vs %d", whole.Instrs(), split.Instrs())
+	}
+	wr, sr := whole.Hierarchy().Stats().Refs, split.Hierarchy().Stats().Refs
+	if wr != sr {
+		t.Errorf("load counts differ across interval split: unbroken %d, split %d", wr, sr)
+	}
+	if a, b := whole.TotalTPI(), split.TotalTPI(); a != b {
+		t.Errorf("TPI differs across interval split: %v vs %v", a, b)
+	}
+	if wr == 0 {
+		t.Fatal("no loads recorded")
+	}
+}
+
 func TestRunWithLoadsRate(t *testing.T) {
 	// The deterministic thinning must call memLat at the profile rate.
 	b := workload.MustByName("gcc")

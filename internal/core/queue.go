@@ -203,17 +203,53 @@ func ProfileQueueConfig(b workload.Benchmark, seed uint64, sizes []int, i int, i
 	return m.TotalTPI(), nil
 }
 
-// ProfileQueueTPI runs each configuration on a fresh machine for the given
-// instruction budget and returns TPI as a dense slice indexed by
-// configuration ID — the profiling pass the paper's process-level scheme
-// assumes a CAP compiler or runtime performs. Configurations are swept in
-// parallel across the sweep pool. Unlike the cache study, the pipeline
-// simulation itself is configuration-dependent (the issue window differs),
-// so each configuration still simulates separately — but with the shared
-// trace path enabled every worker replays ONE materialized instruction
-// stream through a private cursor instead of regenerating it per cell.
+// ProfileQueueTPI runs each configuration for the given instruction budget
+// and returns TPI as a dense slice indexed by configuration ID — the
+// profiling pass the paper's process-level scheme assumes a CAP compiler or
+// runtime performs.
+//
+// With the shared-trace path enabled (the default), all configurations are
+// evaluated by ONE ooo.MultiCore pass over the shared instruction stream:
+// the event-driven issue engine makes each core's cost proportional to
+// instructions issued, and the MultiCore buffer means the stream is decoded
+// once for all window sizes. Otherwise each configuration profiles on a
+// fresh private machine, swept in parallel across the sweep pool. Both paths
+// return bit-identical values (TestProfileQueueTPIOnepass).
 func ProfileQueueTPI(b workload.Benchmark, seed uint64, sizes []int, instrs int64, f tech.FeatureSize) ([]float64, error) {
+	if trace.Enabled() {
+		return profileQueueTPIOnepass(b, seed, sizes, instrs, f)
+	}
 	return sweep.Run(len(sizes), func(i int) (float64, error) {
 		return ProfileQueueConfig(b, seed, sizes, i, instrs, f)
 	})
+}
+
+// profileQueueTPIOnepass is the MultiCore engine behind ProfileQueueTPI. The
+// TPI arithmetic deliberately mirrors QueueMachine.RunInterval + TotalTPI
+// operation for operation — float64(cycles) * period, then divide by
+// float64(issued) — so the one-pass result is bit-identical to the per-config
+// machines, not merely close.
+func profileQueueTPIOnepass(b workload.Benchmark, seed uint64, sizes []int, instrs int64, f tech.FeatureSize) ([]float64, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("core: no queue sizes")
+	}
+	tp := tech.ForFeature(f)
+	cfgs := make([]ooo.Config, len(sizes))
+	for i, w := range sizes {
+		if w < 1 {
+			return nil, fmt.Errorf("core: queue size %d invalid", w)
+		}
+		cfgs[i] = ooo.PaperConfig(w)
+	}
+	mc, err := ooo.NewMultiCore(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	stats := mc.RunEach(trace.InstrSourceFor(b, seed), instrs)
+	out := make([]float64, len(sizes))
+	for i, st := range stats {
+		cyc := palacharla.CycleTime(palacharla.Queue{Entries: sizes[i], IssueWidth: 8}, tp)
+		out[i] = float64(st.Cycles) * cyc / float64(st.Issued)
+	}
+	return out, nil
 }

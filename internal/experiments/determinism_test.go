@@ -3,26 +3,30 @@ package experiments
 import (
 	"testing"
 
+	"capsim/internal/ooo"
 	"capsim/internal/sweep"
 	"capsim/internal/trace"
 )
 
-// TestParallelDeterminism locks the tentpole contract of the sweep engine AND
-// of the shared-trace one-pass path: every experiment renders byte-identically
-// whether the sweeps run serially (workers=1) or fanned out (workers=8), and
-// whether the profiling passes replay the shared materialized trace stores
-// (onepass, the default) or regenerate every stream per cell (the legacy
-// oracle, capsim -onepass=false). Each pass starts from a cold study memo and
-// cold trace stores — otherwise the second pass would trivially replay the
-// first pass's numbers instead of re-running the compute under the other
-// schedule. Run with -race to also certify the worker pool's and the chunked
-// stores' memory discipline across the full driver set.
+// TestParallelDeterminism locks the tentpole contract of the sweep engine, of
+// the shared-trace one-pass path AND of the issue-queue engines: every
+// experiment renders byte-identically whether the sweeps run serially
+// (workers=1) or fanned out (workers=8), whether the profiling passes replay
+// the shared materialized trace stores (onepass, the default) or regenerate
+// every stream per cell (the legacy oracle, capsim -onepass=false), and
+// whether the out-of-order cores run the event-driven wakeup/select engine
+// (default) or the per-cycle window scan (capsim -queue-engine=scan). Each
+// pass starts from a cold study memo and cold trace stores — otherwise the
+// second pass would trivially replay the first pass's numbers instead of
+// re-running the compute under the other schedule. Run with -race to also
+// certify the worker pool's and the chunked stores' memory discipline across
+// the full driver set.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("renders every experiment three times")
+		t.Skip("renders every experiment five times")
 	}
 	cfg := fastConfig()
-	// Trim budgets further: this test runs the complete registry three times,
+	// Trim budgets further: this test runs the complete registry five times,
 	// and must fit the per-package budget under -race on one core.
 	// IntervalInstrs drives the Section 6 studies (fixed interval counts x
 	// interval length), which dominate the registry's wall time.
@@ -32,18 +36,21 @@ func TestParallelDeterminism(t *testing.T) {
 	cfg.IntervalInstrs = 400
 
 	old := sweep.DefaultWorkers()
+	oldEng := ooo.DefaultEngine()
 	defer sweep.SetDefaultWorkers(old)
 	defer trace.SetEnabled(true)
+	defer ooo.SetDefaultEngine(oldEng)
 
-	render := func(workers int, onepass bool) map[string]string {
+	render := func(workers int, onepass bool, eng ooo.Engine) map[string]string {
 		sweep.SetDefaultWorkers(workers)
 		trace.SetEnabled(onepass)
+		ooo.SetDefaultEngine(eng)
 		ResetCaches()
 		out := map[string]string{}
 		for _, id := range IDs() {
 			res, err := Run(id, cfg)
 			if err != nil {
-				t.Fatalf("workers=%d onepass=%v %s: %v", workers, onepass, id, err)
+				t.Fatalf("workers=%d onepass=%v engine=%v %s: %v", workers, onepass, eng, id, err)
 			}
 			out[id] = res.Render()
 		}
@@ -53,14 +60,17 @@ func TestParallelDeterminism(t *testing.T) {
 		name    string
 		workers int
 		onepass bool
+		engine  ooo.Engine
 	}{
-		{"serial/onepass", 1, true},
-		{"parallel/onepass", 8, true},
-		{"parallel/legacy", 8, false},
+		{"serial/onepass/event", 1, true, ooo.EngineEvent},
+		{"parallel/onepass/event", 8, true, ooo.EngineEvent},
+		{"parallel/legacy/event", 8, false, ooo.EngineEvent},
+		{"parallel/onepass/scan", 8, true, ooo.EngineScan},
+		{"serial/legacy/scan", 1, false, ooo.EngineScan},
 	}
-	ref := render(passes[0].workers, passes[0].onepass)
+	ref := render(passes[0].workers, passes[0].onepass, passes[0].engine)
 	for _, p := range passes[1:] {
-		got := render(p.workers, p.onepass)
+		got := render(p.workers, p.onepass, p.engine)
 		for _, id := range IDs() {
 			if ref[id] != got[id] {
 				t.Errorf("%s: render differs between %s and %s", id, passes[0].name, p.name)

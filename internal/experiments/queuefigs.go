@@ -35,10 +35,11 @@ func queueStudyKey(cfg Config) string {
 
 // runQueueStudy profiles every application at every queue size. Applications
 // — 22 for the paper's setup — fan out across the sweep pool; within each,
-// core.ProfileQueueTPI sweeps the 8 configurations as nested jobs, all
-// replaying the application's single materialized instruction stream.
-// Results are collected by index, never by completion order, so output is
-// byte-identical at any worker count.
+// core.ProfileQueueTPI evaluates all 8 window sizes in one ooo.MultiCore
+// pass over the application's shared instruction stream (or, with the shared
+// trace disabled, sweeps them as nested per-configuration jobs). Results are
+// collected by index, never by completion order, so output is byte-identical
+// at any worker count, either -onepass setting, and either -queue-engine.
 func runQueueStudy(cfg Config) (*queueStudy, error) {
 	return queueStudies.Do(queueStudyKey(cfg), func() (*queueStudy, error) {
 		s := &queueStudy{

@@ -1,0 +1,136 @@
+package ooo
+
+import (
+	"fmt"
+
+	"capsim/internal/workload"
+)
+
+// MultiCore evaluates several queue configurations in one pass over a single
+// instruction stream — the queue analog of cache.MultiHierarchy. Each member
+// core is an ordinary *Core (either engine); what MultiCore adds is stream
+// sharing: one underlying InstrSource is materialized once into a bounded
+// lookahead buffer that every core reads through its own position cursor, so
+// an N-configuration profile touches the workload generator (or the shared
+// trace store) exactly once instead of N times.
+//
+// Equivalence: every core observes the instruction sequence starting at
+// stream position 0 and consumes it one instruction per dispatch, exactly as
+// it would from a private stream — so per-core Stats are bit-identical to N
+// independent runs (TestMultiCoreDifferential). The cores advance in rounds
+// of refillBatch instructions, keeping them position-locked to within one
+// batch; because each RunEach call issues the same n on every core, final
+// positions differ only by window-occupancy differences, and the buffer
+// prefix below the slowest cursor is recycled each round. Peak buffer memory
+// is O(refillBatch + max window), independent of n.
+type MultiCore struct {
+	cores []*Core
+	pos   []int64 // pos[i]: absolute stream index of core i's next instruction
+	base  int64   // absolute stream index of buf[0]
+	buf   []workload.Instr
+}
+
+// refillBatch is the shared-buffer growth quantum: large enough to amortize
+// the per-round bookkeeping, small enough to stay cache-resident.
+const refillBatch = 1 << 12
+
+// NewMultiCore creates one core per configuration, all using the
+// process-default issue engine (see SetDefaultEngine).
+func NewMultiCore(cfgs []Config) (*MultiCore, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("ooo: MultiCore needs at least one configuration")
+	}
+	mc := &MultiCore{
+		cores: make([]*Core, len(cfgs)),
+		pos:   make([]int64, len(cfgs)),
+		buf:   make([]workload.Instr, 0, refillBatch*2),
+	}
+	for i, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mc.cores[i] = c
+	}
+	return mc, nil
+}
+
+// Cores returns the member cores (index-parallel to the construction
+// configs). Callers may inspect Stats or ResetStats between passes; resizing
+// member cores is not supported.
+func (mc *MultiCore) Cores() []*Core { return mc.cores }
+
+// mcCursor adapts one core's view of the shared buffer to workload.InstrSource.
+type mcCursor struct {
+	mc   *MultiCore
+	core int
+}
+
+// Next returns the core's next instruction from the shared buffer. RunEach
+// guarantees at least IssueWidth instructions of lookahead before each Step,
+// so the index is always in range.
+func (cu mcCursor) Next() workload.Instr {
+	mc := cu.mc
+	p := mc.pos[cu.core]
+	in := mc.buf[p-mc.base]
+	mc.pos[cu.core] = p + 1
+	return in
+}
+
+// RunEach advances every core until it has issued n more instructions,
+// pulling the shared stream as needed, and returns the per-core statistics
+// deltas (index-parallel to Cores).
+func (mc *MultiCore) RunEach(src workload.InstrSource, n int64) []Stats {
+	k := len(mc.cores)
+	before := make([]Stats, k)
+	target := make([]int64, k)
+	for i, c := range mc.cores {
+		before[i] = c.stats
+		target[i] = c.stats.Issued + n
+	}
+	for {
+		done := true
+		for i, c := range mc.cores {
+			if c.stats.Issued >= target[i] {
+				continue
+			}
+			done = false
+			cur := mcCursor{mc: mc, core: i}
+			// A Step dispatches at most IssueWidth instructions; run
+			// until the target is met or the lookahead cannot cover a
+			// full dispatch group.
+			limit := mc.base + int64(len(mc.buf)) - int64(c.cfg.IssueWidth)
+			for c.stats.Issued < target[i] && mc.pos[i] <= limit {
+				c.Step(cur)
+			}
+		}
+		if done {
+			break
+		}
+		mc.refill(src)
+	}
+	out := make([]Stats, k)
+	for i, c := range mc.cores {
+		out[i] = c.stats.Sub(before[i])
+	}
+	return out
+}
+
+// refill recycles the consumed buffer prefix (everything below the slowest
+// cursor) and appends the next batch from the shared stream.
+func (mc *MultiCore) refill(src workload.InstrSource) {
+	min := mc.pos[0]
+	for _, p := range mc.pos[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	if drop := int(min - mc.base); drop > 0 {
+		kept := copy(mc.buf, mc.buf[drop:])
+		mc.buf = mc.buf[:kept]
+		mc.base = min
+	}
+	for i := 0; i < refillBatch; i++ {
+		mc.buf = append(mc.buf, src.Next())
+	}
+}

@@ -15,6 +15,17 @@
 // encoders), and entries are freed at issue. Shrinking the queue requires
 // draining the entries being disabled (paper Section 5.1); Drain models
 // that.
+//
+// Two issue engines implement those semantics (see engine.go):
+//
+//   - EngineScan is the direct model: every cycle re-scans the whole window
+//     oldest-first, waking and selecting in one pass. Cost O(cycles · W).
+//   - EngineEvent (the default) is the event-driven equivalent: per-producer
+//     consumer lists fire wakeups the moment a producer's completion cycle
+//     becomes known, feeding a ready structure ordered so select pops
+//     oldest-first. Cost O(instructions · log W) — proportional to work
+//     issued, not cycles × window. See event.go for the invariants that make
+//     it bit-identical to the scan.
 package ooo
 
 import (
@@ -46,19 +57,45 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ringSize is the completion-time ring capacity. It must comfortably exceed
-// the window size plus the largest dependence distance so that a slot is
-// never reused while a consumer might still inspect it.
-const ringSize = 1 << 16
-
 // maxDist caps usable dependence distances; producers further away are
-// treated as retired (their results are trivially available).
-const maxDist = ringSize / 2
+// treated as retired (their results are trivially available). The paper's
+// window sizes top out at 128 entries and every workload profile draws
+// dependence distances from geometric mixtures with means below ~30, so a
+// 2048-instruction horizon is unreachable in practice (P ≈ e^-68 per
+// instruction for the largest mean); and any producer ≥ maxDist dispatches
+// old has long completed (in-flight age is bounded by the window plus
+// IssueWidth × the maximum completion latency, far below maxDist), so its
+// contribution to a consumer's readiness is already in the past and
+// classification as "retired" cannot change issue timing.
+const maxDist = 1 << 11
+
+// ringSlack is the extra completion-ring headroom beyond WindowSize+maxDist:
+// a producer's ring slot must survive until no live consumer can inspect it,
+// i.e. for up to maxDist+WindowSize dispatches plus the instructions that can
+// dispatch past a still-waiting consumer. The slack covers every realistic
+// schedule; pathological ones (enormous RunWithLoads latencies) are caught by
+// the recycle guard in dispatch, which grows the ring rather than reuse a
+// slot whose instruction has not yet completed.
+const ringSlack = 1 << 11
+
+// ringSize returns the completion-ring capacity for a window: the smallest
+// power of two covering the window, the tracked dependence horizon and the
+// in-flight slack. For the paper's 16–128-entry windows this is 8192 slots
+// (64 KB) — 8× smaller than the fixed 512 KB ring it replaces, which matters
+// when profiling fans dozens of cores out across sweep workers.
+func ringSize(window int) int {
+	need := window + maxDist + ringSlack
+	r := 1
+	for r < need {
+		r <<= 1
+	}
+	return r
+}
 
 // pending marks a dispatched-but-not-yet-issued producer in the ring.
 const pending = int64(1) << 62
 
-// entry is one occupied window slot.
+// entry is one occupied window slot (scan engine).
 type entry struct {
 	seq   int64 // dynamic instruction number (issue priority: oldest first)
 	src0  int64 // producer seq, or -1
@@ -69,21 +106,38 @@ type entry struct {
 
 // Core is the simulator state.
 type Core struct {
-	cfg   Config
-	cycle int64
-	seq   int64 // next dynamic instruction number to dispatch
+	cfg    Config
+	engine Engine
+	cycle  int64
+	seq    int64 // next dynamic instruction number to dispatch
 
-	// window is kept in dispatch order (oldest first); the select logic
-	// scans it in order, matching an oldest-first priority encoder tree.
+	// window is kept in dispatch order (oldest first); the scan engine's
+	// select logic walks it in order, matching an oldest-first priority
+	// encoder tree. Unused by the event engine.
 	window []entry
 
-	// done[seq % ringSize] is the cycle the instruction's result is
-	// available, or `pending` while it sits unissued in the window.
-	done [ringSize]int64
+	// done[seq & mask] is the cycle the instruction's result is available,
+	// or `pending` while it sits unissued in the window. The ring is a
+	// power of two sized by ringSize for the configured window (it grows,
+	// never shrinks, across Resize).
+	done []int64
+	mask int64
+
+	// ev is the event engine's state (event.go); zero-valued when the scan
+	// engine is active.
+	ev eventState
 
 	// Load attachment (RunWithLoads): every 1/loadRPI-th dispatched
 	// instruction becomes a memory operation whose extra latency is
 	// drawn from memLat. Zero-valued = disabled (perfect caches).
+	//
+	// loadAcc is the fractional-load accumulator. It deliberately
+	// persists across RunWithLoads calls: the CombinedMachine runs in
+	// intervals, and the deterministic refs-per-instruction spacing must
+	// continue across interval boundaries rather than restart (the
+	// accumulator carrying, say, 0.7 into the next interval makes its
+	// first load arrive one instruction earlier, exactly as if the run
+	// had not been split). TestRunWithLoadsCarryOver pins this.
 	loadRPI float64
 	loadAcc float64
 	memLat  func(write bool) int64
@@ -119,18 +173,33 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-// New creates a core.
-func New(cfg Config) (*Core, error) {
+// New creates a core using the process-default issue engine (see
+// SetDefaultEngine; EngineEvent unless overridden).
+func New(cfg Config) (*Core, error) { return NewWithEngine(cfg, DefaultEngine()) }
+
+// NewWithEngine creates a core with an explicit issue engine. Both engines
+// are bit-identical in every statistic; they differ only in asymptotic cost
+// (the differential and fuzz tests in this package enforce the equivalence).
+func NewWithEngine(cfg Config, e Engine) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.WindowSize >= maxDist {
 		return nil, fmt.Errorf("ooo: window size %d exceeds supported maximum %d", cfg.WindowSize, maxDist-1)
 	}
-	return &Core{
+	r := ringSize(cfg.WindowSize)
+	c := &Core{
 		cfg:    cfg,
-		window: make([]entry, 0, cfg.WindowSize),
-	}, nil
+		engine: e,
+		done:   make([]int64, r),
+		mask:   int64(r - 1),
+	}
+	if e == EngineEvent {
+		c.ev.init(cfg.WindowSize, r)
+	} else {
+		c.window = make([]entry, 0, cfg.WindowSize)
+	}
+	return c, nil
 }
 
 // MustNew is New but panics on error.
@@ -145,6 +214,9 @@ func MustNew(cfg Config) *Core {
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
 
+// Engine returns the issue engine the core runs on.
+func (c *Core) Engine() Engine { return c.engine }
+
 // Stats returns accumulated statistics.
 func (c *Core) Stats() Stats { return c.stats }
 
@@ -153,7 +225,12 @@ func (c *Core) Stats() Stats { return c.stats }
 func (c *Core) ResetStats() { c.stats = Stats{} }
 
 // Occupancy returns the current number of window entries in use.
-func (c *Core) Occupancy() int { return len(c.window) }
+func (c *Core) Occupancy() int {
+	if c.engine == EngineEvent {
+		return c.ev.occ
+	}
+	return len(c.window)
+}
 
 // Run simulates until n more instructions have been issued, pulling from the
 // stream as needed, and returns the statistics delta for this run. Issued
@@ -173,6 +250,11 @@ func (c *Core) Run(stream workload.InstrSource, n int64) Stats {
 // operations whose extra completion latency is supplied by memLat (cycles
 // beyond a pipelined L1 hit). The CombinedMachine uses this to couple the
 // adaptive queue to the live adaptive cache hierarchy.
+//
+// The fractional-load accumulator carries over between successive calls (see
+// the loadAcc field): splitting a run into intervals yields the identical
+// load placement — and therefore identical memLat call sequence and
+// statistics — as one unbroken run.
 func (c *Core) RunWithLoads(stream workload.InstrSource, n int64, rpi float64, memLat func(write bool) int64) Stats {
 	if rpi < 0 {
 		rpi = 0
@@ -193,7 +275,7 @@ func (c *Core) Step(stream workload.InstrSource) {
 	c.stats.Cycles++
 
 	// Dispatch. The front end is perfect, so it always has instructions.
-	free := c.cfg.WindowSize - len(c.window)
+	free := c.cfg.WindowSize - c.Occupancy()
 	dispatch := c.cfg.IssueWidth
 	if dispatch > free {
 		dispatch = free
@@ -201,33 +283,71 @@ func (c *Core) Step(stream workload.InstrSource) {
 			c.stats.WindowFullCy++
 		}
 	}
-	for i := 0; i < dispatch; i++ {
+	if c.engine == EngineEvent {
+		c.dispatchEvent(stream, dispatch)
+		c.issueCycleEvent()
+	} else {
+		c.dispatchScan(stream, dispatch)
+		c.issueCycle()
+	}
+}
+
+// instrLat returns the instruction's completion latency, applying the
+// deterministic load attachment when enabled. Called once per dispatched
+// instruction in dispatch order by both engines, so the memLat call sequence
+// — and any external state it advances (the combined machine's cache
+// hierarchy) — is engine-independent.
+func (c *Core) instrLat(in workload.Instr) int64 {
+	lat := int64(in.Latency)
+	if c.loadRPI > 0 {
+		c.loadAcc += c.loadRPI
+		if c.loadAcc >= 1 {
+			c.loadAcc--
+			// Memory operation: the hierarchy's stall cycles extend
+			// the consumer-visible latency.
+			lat += c.memLat(false)
+		}
+	}
+	return lat
+}
+
+// recycleGuard grows the completion ring if the slot about to be claimed for
+// c.seq still belongs to an instruction that is pending or completes in the
+// future (value > current cycle; `pending` is a huge constant, so one compare
+// covers both). This is the invariant that makes lookupDone's recycling rule
+// exact rather than approximate: a recycled slot always describes an
+// instruction whose result was available at or before the current cycle, and
+// treating such a producer as retired-with-result-at-0 cannot change any
+// `ready <= cycle` issue decision. In practice the guard never fires — it
+// takes ring-size dispatches to lap a slot, which at 8-wide dispatch leaves
+// ~1000 cycles for the instruction to complete — but it makes the shrunken
+// ring safe against arbitrary RunWithLoads latencies by construction.
+func (c *Core) recycleGuard() {
+	for c.done[c.seq&c.mask] > c.cycle {
+		c.growRing(2 * len(c.done))
+	}
+}
+
+// dispatchScan dispatches n instructions into the scan engine's window.
+func (c *Core) dispatchScan(stream workload.InstrSource, n int) {
+	for i := 0; i < n; i++ {
 		in := stream.Next()
+		c.recycleGuard()
 		seq := c.seq
 		c.seq++
 		c.stats.Instrs++
-		e := entry{seq: seq, src0: -1, src1: -1, lat: int64(in.Latency)}
-		if c.loadRPI > 0 {
-			c.loadAcc += c.loadRPI
-			if c.loadAcc >= 1 {
-				c.loadAcc--
-				// Memory operation: the hierarchy's stall cycles
-				// extend the consumer-visible latency.
-				e.lat += c.memLat(false)
-			}
-		}
+		e := entry{seq: seq, src0: -1, src1: -1, lat: c.instrLat(in)}
 		e.src0 = c.producer(seq, in.Src[0])
 		e.src1 = c.producer(seq, in.Src[1])
 		e.ready = -1
-		c.done[seq%ringSize] = pending
+		c.done[seq&c.mask] = pending
 		c.window = append(c.window, e)
 	}
-
-	c.issueCycle()
 }
 
 // producer maps a dependence distance to a producer seq, or -1 when the
-// producer is retired (distance 0, out of range, or before program start).
+// producer is retired (distance 0, beyond the tracked horizon, or before
+// program start).
 func (c *Core) producer(seq int64, dist int32) int64 {
 	if dist <= 0 || int64(dist) >= maxDist {
 		return -1
@@ -239,7 +359,28 @@ func (c *Core) producer(seq int64, dist int32) int64 {
 	return p
 }
 
-// issueCycle performs one wakeup+select pass at the current cycle.
+// lookupDone returns a producer's completion cycle and whether it is still
+// pending. A producer whose ring slot has been recycled (p+len(done) ≤ seq,
+// i.e. at least a full ring of instructions dispatched after it) is treated
+// as long retired with its result trivially available. recycleGuard makes
+// this exact: a slot is only ever recycled once its instruction's completion
+// cycle is in the past, and a completion at or before the reader's current
+// cycle is behaviorally identical to 0 (readiness is only ever compared via
+// ready <= cycle at cycles from the reader's dispatch onward).
+func (c *Core) lookupDone(p int64) (int64, bool) {
+	if p+int64(len(c.done)) <= c.seq {
+		return 0, false
+	}
+	t := c.done[p&c.mask]
+	if t == pending {
+		return 0, true
+	}
+	return t, false
+}
+
+// issueCycle performs one wakeup+select pass at the current cycle (scan
+// engine): the window is re-scanned oldest first, resolving readiness and
+// issuing up to IssueWidth ready entries in one pass.
 func (c *Core) issueCycle() {
 	issued := 0
 	w := c.window[:0]
@@ -249,7 +390,7 @@ func (c *Core) issueCycle() {
 			e.ready = c.resolve(&e)
 		}
 		if e.ready >= 0 && e.ready <= c.cycle && issued < c.cfg.IssueWidth {
-			c.done[e.seq%ringSize] = c.cycle + e.lat
+			c.done[e.seq&c.mask] = c.cycle + e.lat
 			c.stats.Issued++
 			issued++
 			continue
@@ -266,8 +407,8 @@ func (c *Core) issueCycle() {
 func (c *Core) resolve(e *entry) int64 {
 	ready := int64(0)
 	if e.src0 >= 0 {
-		t := c.done[e.src0%ringSize]
-		if t == pending {
+		t, pend := c.lookupDone(e.src0)
+		if pend {
 			return -1
 		}
 		if t > ready {
@@ -275,8 +416,8 @@ func (c *Core) resolve(e *entry) int64 {
 		}
 	}
 	if e.src1 >= 0 {
-		t := c.done[e.src1%ringSize]
-		if t == pending {
+		t, pend := c.lookupDone(e.src1)
+		if pend {
 			return -1
 		}
 		if t > ready {
@@ -295,11 +436,15 @@ func (c *Core) Drain(max int) {
 	if max < 0 {
 		max = 0
 	}
-	for len(c.window) > max {
+	for c.Occupancy() > max {
 		c.cycle++
 		c.stats.Cycles++
 		c.stats.DrainStalls++
-		c.issueCycle()
+		if c.engine == EngineEvent {
+			c.issueCycleEvent()
+		} else {
+			c.issueCycle()
+		}
 	}
 }
 
@@ -307,24 +452,51 @@ func (c *Core) Drain(max int) {
 // immediate (newly enabled entries start empty). Returns an error for
 // non-positive or unsupported sizes.
 //
-// The backing slice's capacity is reserved for the new size up front: the
-// dispatch loop appends up to WindowSize entries per cycle, and without the
-// reservation a grow (16 -> 128 entries, say) would regrow the slice
-// incrementally inside the per-cycle hot loop. After the one-time
-// reservation here, dispatch and issueCycle (which filters in place via
-// c.window[:0]) run allocation-free.
+// All capacity — the scan window's backing slice, the event engine's slab,
+// heaps and free list, and the completion ring — is reserved here, up front,
+// so the per-cycle dispatch and issue paths run allocation-free afterwards.
 func (c *Core) Resize(newSize int) error {
 	if newSize < 1 || newSize >= maxDist {
 		return fmt.Errorf("ooo: window size %d out of range", newSize)
 	}
-	if newSize < len(c.window) {
+	if newSize < c.Occupancy() {
 		c.Drain(newSize)
 	}
-	if newSize > cap(c.window) {
+	if need := ringSize(newSize); need > len(c.done) {
+		c.growRing(need)
+	}
+	if c.engine == EngineEvent {
+		c.ev.grow(newSize)
+	} else if newSize > cap(c.window) {
 		w := make([]entry, len(c.window), newSize)
 		copy(w, c.window)
 		c.window = w
 	}
 	c.cfg.WindowSize = newSize
 	return nil
+}
+
+// growRing rehomes the completion ring (and the event engine's parallel
+// slot-index ring) into a larger power-of-two array, preserving the slots of
+// every sequence number the old ring still covered. Slots older than the old
+// ring's span land zeroed, which lookupDone's recycling rule already treats
+// as retired-with-result-available.
+func (c *Core) growRing(need int) {
+	old, oldMask := c.done, c.mask
+	c.done = make([]int64, need)
+	c.mask = int64(need - 1)
+	lo := c.seq - int64(len(old))
+	if lo < 0 {
+		lo = 0
+	}
+	for s := lo; s < c.seq; s++ {
+		c.done[s&c.mask] = old[s&oldMask]
+	}
+	if c.engine == EngineEvent {
+		oldSlot := c.ev.slotOf
+		c.ev.slotOf = make([]int32, need)
+		for s := lo; s < c.seq; s++ {
+			c.ev.slotOf[s&c.mask] = oldSlot[s&oldMask]
+		}
+	}
 }

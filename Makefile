@@ -4,12 +4,13 @@
 # `make bench-onepass` regenerates BENCH_onepass.json (legacy per-cell
 # streams vs the shared-trace one-pass profiling path); `make bench-queue`
 # regenerates BENCH_queue.json (scan vs event issue engine x onepass on the
-# queue study); `make bench-compare` prints the old-vs-new profiling
-# micro-benchmark deltas.
+# queue study); `make bench-obs` regenerates BENCH_obs.json (obs-disabled vs
+# obs-enabled overhead on the fig7/fig10 profiling passes); `make
+# bench-compare` prints the old-vs-new profiling micro-benchmark deltas.
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke clean
+.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke clean
 
 all: build
 
@@ -33,7 +34,16 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race bench-compare-smoke bench-queue-smoke
+# staticcheck runs when the tool is installed and is a no-op otherwise, so
+# ci works on boxes without it (no network fetches in the gate).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke
 
 # bench writes BENCH_sweep.json: a two-element array holding the full
 # -experiment all evaluation measured at -parallel 1 and at -parallel 8,
@@ -116,8 +126,48 @@ bench-queue-smoke:
 		{ echo "queue engines rendered differently"; exit 1; }
 	@echo "bench-queue smoke ok (renders byte-identical across engines)"
 
+# bench-obs writes BENCH_obs.json: the fig7 (cache) and fig10 (queue)
+# profiling passes measured with telemetry disabled (the default) and
+# enabled (-obs plus a trace sink), each in a fresh process from cold memos,
+# all serial. The elements are distinguished by their obs_enabled field;
+# compare total_wall_ns within each figure pair for the obs overhead — the
+# disabled-mode pair must be within noise (<2%) of the seed, which is the
+# subsystem's "zero-overhead when off" contract.
+bench-obs:
+	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -bench-json /tmp/capsim_bench_obs_f7_off.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -obs -trace-out /tmp/capsim_obs_f7.trace.json -bench-json /tmp/capsim_bench_obs_f7_on.json >/dev/null 2>/dev/null
+	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -bench-json /tmp/capsim_bench_obs_f10_off.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -obs -trace-out /tmp/capsim_obs_f10.trace.json -bench-json /tmp/capsim_bench_obs_f10_on.json >/dev/null 2>/dev/null
+	{ printf '[\n'; cat /tmp/capsim_bench_obs_f7_off.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f7_on.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f10_off.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f10_on.json; printf ']\n'; } > BENCH_obs.json
+	@echo "wrote BENCH_obs.json"
+
+# bench-obs-smoke is the ci-gated variant: a tiny-budget fig10 run with
+# telemetry off and with every sink on (-obs -obs-assert, trace + manifest),
+# asserting byte-identical stdout renders (the timing footer is stripped; it
+# is the only line allowed to differ) and that the trace and manifest files
+# are produced.
+bench-obs-smoke:
+	@$(GO) run ./cmd/capsim -experiment fig10 -parallel 2 -queue-instrs 3000 \
+		| grep -v '^(fig10 in ' > /tmp/capsim_obs_off.txt
+	@$(GO) run ./cmd/capsim -experiment fig10 -parallel 2 -queue-instrs 3000 \
+		-obs -obs-assert -trace-out /tmp/capsim_obs_smoke.trace.json -metrics-out /tmp/capsim_obs_smoke.json \
+		2>/dev/null | grep -v '^(fig10 in ' > /tmp/capsim_obs_on.txt
+	@cmp /tmp/capsim_obs_off.txt /tmp/capsim_obs_on.txt || \
+		{ echo "obs-enabled run rendered differently"; exit 1; }
+	@test -s /tmp/capsim_obs_smoke.trace.json || { echo "trace file missing"; exit 1; }
+	@test -s /tmp/capsim_obs_smoke.json || { echo "manifest missing"; exit 1; }
+	@echo "bench-obs smoke ok (render byte-identical with obs+assert+trace+manifest on)"
+
 clean:
 	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
+	  /tmp/capsim_bench_obs_f7_off.json /tmp/capsim_bench_obs_f7_on.json \
+	  /tmp/capsim_bench_obs_f10_off.json /tmp/capsim_bench_obs_f10_on.json \
+	  /tmp/capsim_obs_f7.trace.json /tmp/capsim_obs_f10.trace.json \
+	  /tmp/capsim_obs_off.txt /tmp/capsim_obs_on.txt \
+	  /tmp/capsim_obs_smoke.trace.json /tmp/capsim_obs_smoke.json \
 	  /tmp/capsim_bench_legacy.json /tmp/capsim_bench_onepass.json \
 	  /tmp/capsim_bench_compare.txt \
 	  /tmp/capsim_bench_q_scan_legacy.json /tmp/capsim_bench_q_scan_onepass.json \

@@ -10,6 +10,10 @@
 //	capsim -experiment fig7 -parallel 1 -cpuprofile fig7.pprof
 //	capsim -experiment fig7 -onepass=false   # legacy per-boundary oracle
 //	capsim -experiment fig10 -queue-engine scan   # per-cycle window-scan engine
+//	capsim -experiment all -trace-out run.trace.json   # Chrome trace timeline
+//	capsim -experiment all -metrics-out run.json       # run manifest + counters
+//	capsim -experiment all -serve :8417                # live expvar endpoint
+//	capsim -experiment fig10 -obs-assert               # runtime invariant checks
 //
 // Output is byte-identical at every -parallel setting: simulation jobs derive
 // their random streams from (seed, benchmark, purpose) and results are
@@ -20,7 +24,11 @@
 // configuration cell; only wall time and memory differ. Likewise
 // -queue-engine selects between the event-driven issue-queue engine (default)
 // and the per-cycle window scan it replaces; the two are bit-identical in
-// every statistic and differ only in asymptotic cost.
+// every statistic and differ only in asymptotic cost. The telemetry flags
+// (-obs, -trace-out, -metrics-out, -serve, -obs-assert) never change stdout
+// either: observability receives statistics, it does not feed them back (all
+// telemetry notices go to stderr; `make ci`'s bench-obs-smoke enforces the
+// byte identity).
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"capsim/internal/experiments"
+	"capsim/internal/obs"
 	"capsim/internal/ooo"
 	"capsim/internal/sweep"
 	"capsim/internal/tech"
@@ -52,13 +61,16 @@ type benchRecord struct {
 	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
-// benchReport is the top-level -bench-json document.
+// benchReport is the top-level -bench-json document. The -metrics-out
+// manifest (obs.Manifest) is a superset of this schema: shared field names
+// keep their meaning, so consumers of either file can parse both.
 type benchReport struct {
 	Generated   string        `json:"generated"`
 	Command     string        `json:"command"`
 	Parallel    int           `json:"parallel"`
 	Onepass     bool          `json:"onepass"`
 	QueueEngine string        `json:"queue_engine"`
+	ObsEnabled  bool          `json:"obs_enabled"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
 	NumCPU      int           `json:"num_cpu"`
 	Seed        uint64        `json:"seed"`
@@ -68,7 +80,34 @@ type benchReport struct {
 	TotalWallNS int64         `json:"total_wall_ns"`
 }
 
+// main is a thin shell around run: all error paths return through run's
+// single exit point so every deferred cleanup — pprof.StopCPUProfile, the
+// profile file's Close, obs.StopTrace flushing the Chrome trace array —
+// executes before the process decides its exit status. (The old main called
+// os.Exit mid-function, which skipped the deferred StopCPUProfile and
+// silently truncated profiles on any later error.)
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
+		if ec, ok := err.(exitCoder); ok {
+			os.Exit(ec.code)
+		}
+		os.Exit(1)
+	}
+}
+
+// exitCoder carries a specific exit status through run's error return.
+type exitCoder struct {
+	error
+	code int
+}
+
+// usageErr wraps a usage problem with exit status 2 (flag package convention).
+func usageErr(format string, args ...any) error {
+	return exitCoder{fmt.Errorf(format, args...), 2}
+}
+
+func run() error {
 	var (
 		list        = flag.Bool("list", false, "list available experiments and exit")
 		experiment  = flag.String("experiment", "", "experiment id to run, or 'all'")
@@ -84,6 +123,11 @@ func main() {
 		queueEngine = flag.String("queue-engine", "event", "issue-queue engine: 'event' (event-driven wakeup/select) or 'scan' (per-cycle window scan); output is identical either way")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
+		obsOn       = flag.Bool("obs", false, "enable telemetry counters (implied by -metrics-out and -serve)")
+		obsAssert   = flag.Bool("obs-assert", false, "enable runtime invariant self-checks in the simulators (panics on violation)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event timeline (chrome://tracing, ui.perfetto.dev) to this file")
+		metricsOut  = flag.String("metrics-out", "", "write a run manifest (build provenance, flags, per-experiment cost, counter snapshot) as JSON to this file")
+		serveAddr   = flag.String("serve", "", "serve live metrics (expvar + /metrics) on this address, e.g. :8417")
 	)
 	flag.Parse()
 
@@ -92,32 +136,63 @@ func main() {
 			title, _ := experiments.Title(id)
 			fmt.Printf("%-20s %s\n", id, title)
 		}
-		return
+		return nil
 	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "capsim: -experiment required (or -list); e.g. capsim -experiment fig9")
-		os.Exit(2)
+		return usageErr("-experiment required (or -list); e.g. capsim -experiment fig9")
 	}
 
 	sweep.SetDefaultWorkers(*parallel)
 	trace.SetEnabled(*onepass)
 	eng, err := ooo.ParseEngine(*queueEngine)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-		os.Exit(2)
+		return usageErr("%v", err)
 	}
 	ooo.SetDefaultEngine(eng)
+
+	// Telemetry switches. Counters are free when off; -metrics-out and
+	// -serve imply them (a manifest or live endpoint full of zeros would
+	// only mislead). All obs notices go to stderr: stdout carries exactly
+	// the rendered experiment output, byte-identical with telemetry on or
+	// off.
+	obs.SetAssert(*obsAssert)
+	obsEnabled := *obsOn || *metricsOut != ""
+	obs.SetEnabled(obsEnabled)
+	if *serveAddr != "" {
+		addr, err := obs.Serve(*serveAddr)
+		if err != nil {
+			return fmt.Errorf("-serve: %w", err)
+		}
+		obsEnabled = true
+		fmt.Fprintf(os.Stderr, "capsim: live metrics on http://%s/metrics\n", addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := obs.StartTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		// StopTrace terminates the JSON array and closes f; report its
+		// error so a truncated trace is visible instead of shipping
+		// silently.
+		defer func() {
+			if terr := obs.StopTrace(); terr != nil {
+				fmt.Fprintf(os.Stderr, "capsim: trace: %v\n", terr)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -143,51 +218,89 @@ func main() {
 		Parallel:    sweep.DefaultWorkers(),
 		Onepass:     *onepass,
 		QueueEngine: eng.String(),
+		ObsEnabled:  obsEnabled,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		Seed:        cfg.Seed,
 		CacheRefs:   cfg.CacheRefs,
 		QueueInstrs: cfg.QueueInstrs,
 	}
+	manifest := obs.NewManifest()
+	manifest.Flags = flagMap()
+	manifest.Parallel = report.Parallel
+	manifest.Onepass = *onepass
+	manifest.QueueEngine = eng.String()
+	manifest.ObsEnabled = obsEnabled
+	manifest.Seed = cfg.Seed
+	manifest.CacheRefs = cfg.CacheRefs
+	manifest.QueueInstrs = cfg.QueueInstrs
+
+	measure := *benchJSON != "" || *metricsOut != ""
 	var before, after runtime.MemStats
 	for _, id := range ids {
-		if *benchJSON != "" {
+		var snapBefore obs.Snapshot
+		if measure {
 			runtime.ReadMemStats(&before)
+		}
+		if *metricsOut != "" {
+			snapBefore = obs.TakeSnapshot()
 		}
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		wall := time.Since(start)
 		fmt.Print(res.Render())
 		fmt.Printf("(%s in %.1fs)\n\n", id, wall.Seconds())
-		if *benchJSON != "" {
+		if measure {
 			runtime.ReadMemStats(&after)
 			title, _ := experiments.Title(id)
-			report.Experiments = append(report.Experiments, benchRecord{
+			rec := benchRecord{
 				ID:         id,
 				Title:      title,
 				WallNS:     wall.Nanoseconds(),
 				Allocs:     after.Mallocs - before.Mallocs,
 				AllocBytes: after.TotalAlloc - before.TotalAlloc,
-			})
+			}
+			report.Experiments = append(report.Experiments, rec)
 			report.TotalWallNS += wall.Nanoseconds()
+			if *metricsOut != "" {
+				manifest.Experiments = append(manifest.Experiments, obs.ExperimentRecord{
+					ID: rec.ID, Title: rec.Title, WallNS: rec.WallNS,
+					Allocs: rec.Allocs, AllocBytes: rec.AllocBytes,
+					Counters: obs.TakeSnapshot().DiffCounters(snapBefore),
+				})
+				manifest.TotalWallNS += rec.WallNS
+			}
 		}
 	}
 
 	if *benchJSON != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*benchJSON, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "capsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote %s (%d experiments, parallel=%d)\n", *benchJSON, len(report.Experiments), report.Parallel)
 	}
+	if *metricsOut != "" {
+		manifest.Final = obs.TakeSnapshot()
+		if err := manifest.WriteFile(*metricsOut); err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "capsim: wrote run manifest %s (%d experiments)\n", *metricsOut, len(manifest.Experiments))
+	}
+	return nil
+}
+
+// flagMap captures every flag's effective value (set or default) for the
+// manifest, so a run is reproducible from its manifest alone.
+func flagMap() map[string]string {
+	m := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
 }

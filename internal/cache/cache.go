@@ -154,6 +154,7 @@ type Hierarchy struct {
 	sets     [][]way
 	stamp    uint64
 	stats    Stats
+	pub      Stats // snapshot at the last PublishObs (obs.go)
 }
 
 // Stats accumulates access outcomes. Misses are counted hierarchically: an
@@ -222,7 +223,7 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 
 // ResetStats zeroes the counters without touching cache contents (used when
 // discarding warm-up references).
-func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+func (h *Hierarchy) ResetStats() { h.stats, h.pub = Stats{}, Stats{} }
 
 // SetBoundary moves the L1/L2 boundary. Thanks to exclusivity and the
 // constant index mapping this requires no flush: blocks keep their frames
@@ -459,7 +460,10 @@ func TimingFor(p Params, k int) Timing {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return timings.Get(timingKey{p, k}, func() Timing { return timingFor(p, k) })
+	return timings.Get(timingKey{p, k}, func() Timing {
+		obsTimings.Inc1()
+		return timingFor(p, k)
+	})
 }
 
 func timingFor(p Params, k int) Timing {

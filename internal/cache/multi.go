@@ -86,6 +86,12 @@ type MultiHierarchy struct {
 	// pendStamp[set] == 0 means nothing pending (stamps start at 1).
 	pendStamp []uint64
 	pendDirty []bool
+
+	// Telemetry tallies (obs.go). Plain unconditional increments — cheap,
+	// deterministic, and published only as deltas by PublishObs.
+	fastHits uint64
+	slowAccs uint64
+	pub      [6]uint64 // refs/fast/slow/l1/l2/swaps at the last publish
 }
 
 // NewMulti creates a one-pass evaluator for boundaries 1..maxBoundary.
@@ -180,9 +186,11 @@ func (m *MultiHierarchy) Access(set int, tag uint64, write bool) {
 		if write {
 			m.pendDirty[set] = true
 		}
+		m.fastHits++
 		return
 	}
 
+	m.slowAccs++
 	m.accessSlow(set, tag, write)
 }
 

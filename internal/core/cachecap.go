@@ -6,6 +6,7 @@ import (
 
 	"capsim/internal/cache"
 	"capsim/internal/clock"
+	"capsim/internal/obs"
 	"capsim/internal/sweep"
 	"capsim/internal/trace"
 	"capsim/internal/workload"
@@ -221,6 +222,7 @@ func RunCache(c *CacheMachine, p Policy, intervals, n int64, keepSamples bool) C
 	res.TPI = c.TotalTPI()
 	res.TPIMiss = c.TotalTPIMiss()
 	res.Switches = c.clk.Switches()
+	c.hier.PublishObs()
 	return res
 }
 
@@ -240,6 +242,7 @@ func ProfileCacheBoundary(b workload.Benchmark, seed uint64, p cache.Params, max
 		m.instrs, m.timeNS, m.missNS = 0, 0, 0
 	}
 	m.RunInterval(refs)
+	m.hier.PublishObs()
 	return m.TotalTPI(), m.TotalTPIMiss(), nil
 }
 
@@ -255,6 +258,10 @@ func ProfileCacheBoundary(b workload.Benchmark, seed uint64, p cache.Params, max
 // the legacy oracle sweeps one independent machine per boundary across the
 // sweep pool. Both paths are bit-identical (TestProfileCacheTPIOnepass).
 func ProfileCacheTPI(b workload.Benchmark, seed uint64, p cache.Params, maxBoundary int, warm, refs int64) (tpi, tpiMiss []float64, err error) {
+	// The async span makes each per-application profile cell its own
+	// timeline row, whatever worker goroutine it runs on.
+	as := obs.StartAsync("profile", "cache:"+b.Name)
+	defer as.End(obs.Arg{K: "boundaries", V: maxBoundary}, obs.Arg{K: "onepass", V: trace.Enabled()})
 	if trace.Enabled() {
 		return profileCacheTPIOnepass(b, seed, p, maxBoundary, warm, refs)
 	}
@@ -298,6 +305,7 @@ func profileCacheTPIOnepass(b workload.Benchmark, seed uint64, p cache.Params, m
 	base := mh.Stats()
 	mh.Replay(cur, refs)
 	after := mh.Stats()
+	mh.PublishObs()
 
 	instrs := float64(refs) / b.Mem.RefsPerInstr
 	tpi = make([]float64, maxBoundary+1)

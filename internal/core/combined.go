@@ -259,5 +259,7 @@ func RunCombined(m *CombinedMachine, p Policy, intervals, n int64, keepSamples b
 	res.TimeNS = m.timeNS
 	res.TPI = m.TotalTPI()
 	res.Switches = m.clk.Switches()
+	m.core.PublishObs()
+	m.hier.PublishObs()
 	return res
 }

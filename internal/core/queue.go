@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"capsim/internal/clock"
+	"capsim/internal/obs"
 	"capsim/internal/ooo"
 	"capsim/internal/palacharla"
 	"capsim/internal/sweep"
@@ -147,6 +148,12 @@ func (q *QueueMachine) TimeNS() float64 { return q.timeNS }
 // Clock exposes the dynamic clock for reporting.
 func (q *QueueMachine) Clock() *clock.System { return q.clk }
 
+// PublishObs ships the core's accumulated telemetry deltas to the global
+// registry. Drivers that step the machine directly (interval traces) should
+// call it once at the end of the run; RunQueue and the profile passes do so
+// themselves.
+func (q *QueueMachine) PublishObs() { q.core.PublishObs() }
+
 // RunResult aggregates a policy-driven run.
 type RunResult struct {
 	Policy   string
@@ -187,6 +194,7 @@ func RunQueue(q *QueueMachine, p Policy, intervals, n int64, keepSamples bool) R
 	res.TimeNS = q.TimeNS()
 	res.TPI = q.TotalTPI()
 	res.Switches = q.clk.Switches()
+	q.core.PublishObs()
 	return res
 }
 
@@ -200,6 +208,7 @@ func ProfileQueueConfig(b workload.Benchmark, seed uint64, sizes []int, i int, i
 		return 0, err
 	}
 	m.RunInterval(instrs)
+	m.core.PublishObs()
 	return m.TotalTPI(), nil
 }
 
@@ -216,6 +225,8 @@ func ProfileQueueConfig(b workload.Benchmark, seed uint64, sizes []int, i int, i
 // fresh private machine, swept in parallel across the sweep pool. Both paths
 // return bit-identical values (TestProfileQueueTPIOnepass).
 func ProfileQueueTPI(b workload.Benchmark, seed uint64, sizes []int, instrs int64, f tech.FeatureSize) ([]float64, error) {
+	as := obs.StartAsync("profile", "queue:"+b.Name)
+	defer as.End(obs.Arg{K: "configs", V: len(sizes)}, obs.Arg{K: "onepass", V: trace.Enabled()})
 	if trace.Enabled() {
 		return profileQueueTPIOnepass(b, seed, sizes, instrs, f)
 	}
@@ -246,6 +257,7 @@ func profileQueueTPIOnepass(b workload.Benchmark, seed uint64, sizes []int, inst
 		return nil, err
 	}
 	stats := mc.RunEach(trace.InstrSourceFor(b, seed), instrs)
+	mc.PublishObs()
 	out := make([]float64, len(sizes))
 	for i, st := range stats {
 		cyc := palacharla.CycleTime(palacharla.Queue{Entries: sizes[i], IssueWidth: 8}, tp)

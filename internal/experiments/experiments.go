@@ -10,11 +10,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"capsim/internal/cache"
 	"capsim/internal/metrics"
+	"capsim/internal/obs"
 	"capsim/internal/tech"
 	"capsim/internal/trace"
+)
+
+// Telemetry (internal/obs): one counter bump and one span per experiment —
+// the coarsest boundary in the process.
+var (
+	obsExperiments = obs.NewCounter("experiments.runs")
+	obsExpErrors   = obs.NewCounter("experiments.errors")
+	obsExpNS       = obs.NewHistogram("experiments.wall_ns")
 )
 
 // Config holds the run budgets. The paper uses 100 M references /
@@ -155,5 +165,16 @@ func Run(id string, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	return e.run(cfg)
+	obsExperiments.Inc1()
+	sp := obs.StartSpan("experiment:"+id, 0)
+	t0 := time.Now()
+	res, err := e.run(cfg)
+	obsExpNS.Observe(time.Since(t0).Nanoseconds())
+	if err != nil {
+		obsExpErrors.Inc1()
+		sp.End(obs.Arg{K: "err", V: err.Error()})
+		return res, err
+	}
+	sp.End(obs.Arg{K: "figures", V: len(res.Figures)}, obs.Arg{K: "tables", V: len(res.Tables)})
+	return res, nil
 }

@@ -32,6 +32,7 @@ func intervalTrace(cfg Config, app string, entries int, n int64) ([]float64, err
 		s := m.RunInterval(cfg.IntervalInstrs)
 		out[i] = s.TPI
 	}
+	m.PublishObs()
 	return out, nil
 }
 

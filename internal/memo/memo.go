@@ -17,11 +17,33 @@
 // zero value.
 package memo
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
 
-// entry is one key's slot: a Once guarding the computed value.
+	"capsim/internal/obs"
+)
+
+// Telemetry (internal/obs): cheap global counters over all Memo instances.
+// Hits/misses partition Do calls by whether this call ran fn; waits count the
+// calls that blocked on another goroutine's in-flight computation — the
+// singleflight stalls the trace timeline makes visible. All of it is gated on
+// obs being live, so the plain path pays one predicted branch per Do.
+var (
+	obsHits   = obs.NewCounter("memo.hits")         // result already memoized
+	obsMisses = obs.NewCounter("memo.misses")       // this call computed the entry
+	obsWaits  = obs.NewCounter("memo.waits")        // blocked on an in-flight compute
+	obsWaitNS = obs.NewHistogram("memo.wait_ns")    // time spent blocked
+	obsCompNS = obs.NewHistogram("memo.compute_ns") // time inside fn
+)
+
+// entry is one key's slot: a Once guarding the computed value. done is
+// telemetry only — it lets an instrumented Do distinguish a settled hit from
+// a singleflight wait without perturbing the Once fast path.
 type entry[V any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  V
 	err  error
 }
@@ -55,7 +77,48 @@ func (c *Memo[K, V]) slot(k K) *entry[V] {
 // computations here are deterministic, so retrying cannot help).
 func (c *Memo[K, V]) Do(k K, fn func() (V, error)) (V, error) {
 	e := c.slot(k)
-	e.once.Do(func() { e.val, e.err = fn() })
+	if !obs.Enabled() && !obs.Tracing() {
+		e.once.Do(func() {
+			e.val, e.err = fn()
+			e.done.Store(true)
+		})
+		return e.val, e.err
+	}
+	return c.doObserved(e, fn)
+}
+
+// doObserved is Do's telemetry path: identical semantics, plus counters and —
+// when a trace sink is installed — an async span over any singleflight wait.
+func (c *Memo[K, V]) doObserved(e *entry[V], fn func() (V, error)) (V, error) {
+	settled := e.done.Load()
+	ran := false
+	var as obs.AsyncSpan
+	if !settled {
+		// Either we are about to compute or we are about to block on the
+		// goroutine that is; the span is dropped below if we computed.
+		as = obs.StartAsync("memo", "wait")
+	}
+	t0 := time.Now()
+	e.once.Do(func() {
+		ran = true
+		e.val, e.err = fn()
+		e.done.Store(true)
+	})
+	ns := time.Since(t0).Nanoseconds()
+	switch {
+	case ran:
+		obsMisses.Inc1()
+		obsCompNS.Observe(ns)
+	case settled:
+		obsHits.Inc1()
+	default:
+		// Entry existed but was still being computed when we arrived: we
+		// blocked on that key's Once.
+		obsHits.Inc1()
+		obsWaits.Inc1()
+		obsWaitNS.Observe(ns)
+		as.End()
+	}
 	return e.val, e.err
 }
 

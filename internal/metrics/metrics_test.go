@@ -27,6 +27,34 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestGeoMeanEdgeCases(t *testing.T) {
+	// A zero element (not just negative) must also short-circuit to 0:
+	// log(0) would otherwise poison the sum with -Inf.
+	if got := GeoMean([]float64{3, 0, 5}); got != 0 {
+		t.Errorf("GeoMean with zero element = %v", got)
+	}
+	// Single element: the geometric mean is the element itself.
+	if got := GeoMean([]float64{7.25}); math.Abs(got-7.25) > 1e-12 {
+		t.Errorf("GeoMean single = %v", got)
+	}
+	// Identical elements: mean equals the common value exactly (up to
+	// rounding through log/exp).
+	if got := GeoMean([]float64{2.5, 2.5, 2.5}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("GeoMean constant = %v", got)
+	}
+	// Values whose product overflows float64 still work via the log-sum
+	// form: geomean(1e200, 1e200, 1e-200) = 1e200^(2/3) * 1e-200^(1/3).
+	got := GeoMean([]float64{1e200, 1e200, 1e-200})
+	want := math.Exp((2*math.Log(1e200) + math.Log(1e-200)) / 3)
+	if math.IsInf(got, 0) || math.Abs(got-want) > want*1e-12 {
+		t.Errorf("GeoMean overflow-resistant = %v want %v", got, want)
+	}
+	// Empty (as opposed to nil) slice.
+	if got := GeoMean([]float64{}); got != 0 {
+		t.Errorf("GeoMean(empty) = %v", got)
+	}
+}
+
 func TestReduction(t *testing.T) {
 	if got := Reduction(2, 1); got != 0.5 {
 		t.Errorf("Reduction = %v", got)
@@ -36,6 +64,73 @@ func TestReduction(t *testing.T) {
 	}
 	if got := Reduction(1, 2); got != -1 {
 		t.Errorf("negative reduction = %v", got)
+	}
+}
+
+func TestReductionEdgeCases(t *testing.T) {
+	// Zero base with zero improved: still the defined 0, not NaN.
+	if got := Reduction(0, 0); got != 0 {
+		t.Errorf("Reduction(0,0) = %v", got)
+	}
+	// Improved == base: no change.
+	if got := Reduction(3.5, 3.5); got != 0 {
+		t.Errorf("Reduction(equal) = %v", got)
+	}
+	// Improved down to zero: full (100%) reduction.
+	if got := Reduction(4, 0); got != 1 {
+		t.Errorf("Reduction(4,0) = %v", got)
+	}
+	// Negative base is not special-cased; the ratio is still well defined
+	// and must not be NaN.
+	if got := Reduction(-2, -1); math.IsNaN(got) {
+		t.Errorf("Reduction(-2,-1) = %v", got)
+	}
+}
+
+func TestMeanSingle(t *testing.T) {
+	if got := Mean([]float64{41.5}); got != 41.5 {
+		t.Errorf("Mean single = %v", got)
+	}
+	if got := Mean([]float64{}); got != 0 {
+		t.Errorf("Mean(empty) = %v", got)
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	// A figure with no series renders its header without panicking.
+	out := Figure{ID: "fig0", Title: "empty", XLabel: "x", YLabel: "y"}.Render()
+	if !strings.Contains(out, "fig0") || !strings.Contains(out, "empty") {
+		t.Errorf("empty figure render:\n%s", out)
+	}
+	// A series with no points likewise.
+	out = Figure{
+		ID: "fig0", Title: "empty series", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "a"}},
+	}.Render()
+	if !strings.Contains(out, "a") {
+		t.Errorf("empty-series figure render:\n%s", out)
+	}
+}
+
+func TestTableRenderRagged(t *testing.T) {
+	// Rows wider than the column header list must not panic or corrupt
+	// alignment of the declared columns.
+	tb := Table{
+		ID: "t2", Title: "ragged",
+		Columns: []string{"name"},
+		Rows:    [][]string{{"alpha"}, {"beta"}},
+	}
+	out := tb.Render()
+	for _, want := range []string{"t2", "ragged", "alpha", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Empty table: header + separator only.
+	out = Table{ID: "t3", Title: "empty", Columns: []string{"c"}}.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("empty table line count %d:\n%s", len(lines), out)
 	}
 }
 

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log2 bucket edges: bucket 0 holds v <= 0,
+// bucket b >= 1 holds [2^(b-1), 2^b - 1].
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// A value must never exceed its bucket's upper bound, and must exceed
+	// the previous bucket's.
+	for _, c := range cases {
+		b := BucketOf(c.v)
+		if c.v > BucketUpperBound(b) {
+			t.Errorf("value %d above its bucket %d bound %d", c.v, b, BucketUpperBound(b))
+		}
+		if b > 0 && c.v <= BucketUpperBound(b-1) {
+			t.Errorf("value %d within previous bucket %d bound %d", c.v, b-1, BucketUpperBound(b-1))
+		}
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	if BucketUpperBound(0) != 0 {
+		t.Fatalf("bucket 0 bound = %d", BucketUpperBound(0))
+	}
+	if BucketUpperBound(1) != 1 || BucketUpperBound(2) != 3 || BucketUpperBound(10) != 1023 {
+		t.Fatal("power-of-two bounds wrong")
+	}
+	if BucketUpperBound(63) != math.MaxInt64 || BucketUpperBound(99) != math.MaxInt64 {
+		t.Fatal("top bucket must saturate at MaxInt64")
+	}
+	if BucketUpperBound(-5) != 0 {
+		t.Fatal("negative bucket index must map to underflow bound")
+	}
+}
+
+func TestHistogramDisabledIsNoop(t *testing.T) {
+	r := &Registry{}
+	h := r.NewHistogram("t.h.off")
+	SetEnabled(false)
+	h.Observe(100)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("disabled histogram recorded")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := &Registry{}
+	h := r.NewHistogram("t.h.q")
+	withEnabled(t, func() {
+		// 90 observations of 10 (bucket 4, bound 15) and 10 of 1000
+		// (bucket 10, bound 1023).
+		for i := 0; i < 90; i++ {
+			h.Observe(10)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(1000)
+		}
+		if got := h.Count(); got != 100 {
+			t.Fatalf("count = %d", got)
+		}
+		if got := h.Sum(); got != 90*10+10*1000 {
+			t.Fatalf("sum = %d", got)
+		}
+		if got := h.Quantile(0.5); got != 15 {
+			t.Fatalf("p50 = %d, want bucket bound 15", got)
+		}
+		if got := h.Quantile(0.90); got != 15 {
+			t.Fatalf("p90 = %d, want 15 (exactly 90/100 within first bucket)", got)
+		}
+		if got := h.Quantile(0.99); got != 1023 {
+			t.Fatalf("p99 = %d, want bucket bound 1023", got)
+		}
+		if got := h.Quantile(1.0); got != 1023 {
+			t.Fatalf("p100 = %d, want 1023", got)
+		}
+		// Out-of-range q is clamped.
+		if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+			t.Fatal("quantile clamping broken")
+		}
+	})
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := &Registry{}
+	h := r.NewHistogram("t.h.empty")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := &Registry{}
+	h := r.NewHistogram("t.h.snap")
+	withEnabled(t, func() {
+		h.Observe(0) // underflow bucket
+		h.Observe(5)
+		h.Observe(5)
+		s := h.Snapshot()
+		if s.Count != 3 || s.Sum != 10 {
+			t.Fatalf("snapshot count/sum = %d/%d", s.Count, s.Sum)
+		}
+		if s.Bkts[0] != 1 {
+			t.Fatalf("underflow bucket = %d", s.Bkts[0])
+		}
+		if s.Bkts[7] != 2 { // 5 lands in bucket 3, bound 7
+			t.Fatalf("bucket bound 7 = %d (%v)", s.Bkts[7], s.Bkts)
+		}
+		if s.Max != 7 {
+			t.Fatalf("max bucket bound = %d", s.Max)
+		}
+	})
+}

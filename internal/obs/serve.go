@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// This file is the live endpoint behind `capsim -serve :addr`: a tiny HTTP
+// server exposing the standard expvar surface plus the obs registry, for
+// watching a long `-experiment all` run from another terminal:
+//
+//	capsim -experiment all -serve :8417 &
+//	curl -s localhost:8417/metrics          # plain-text counters
+//	curl -s localhost:8417/debug/vars | jq .capsim
+//
+// The server only reads atomics; it cannot perturb the simulation, and
+// nothing in the run waits on it.
+
+// publishOnce guards the expvar registration (expvar panics on duplicate
+// names, and tests may build several handlers).
+var publishOnce sync.Once
+
+// publishExpvar exposes the Default registry as the expvar "capsim" map.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("capsim", expvar.Func(func() any {
+			return TakeSnapshot()
+		}))
+	})
+}
+
+// Handler returns the live-endpoint HTTP handler:
+//
+//	/            one-line index
+//	/metrics     plain-text name/value lines (counters, gauges, histograms)
+//	/debug/vars  standard expvar JSON, including the "capsim" snapshot
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", metricsText)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "capsim live telemetry — /metrics (text), /debug/vars (expvar JSON)\n")
+	})
+	return mux
+}
+
+// metricsText renders the registry in a flat, grep-able text format.
+func metricsText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s := TakeSnapshot()
+	for _, n := range s.SortedCounterNames() {
+		fmt.Fprintf(w, "%s %d\n", n, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "%s %d\n", n, s.Gauges[n])
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "%s{count} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s{sum} %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s{p50} %d\n", n, h.P50)
+		fmt.Fprintf(w, "%s{p99} %d\n", n, h.P99)
+	}
+}
+
+// sortedKeys yields deterministic render order (maps iterate randomly).
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Serve starts the live endpoint on addr (e.g. ":8417" or "127.0.0.1:0")
+// in a background goroutine and returns the bound address. Metric recording
+// is force-enabled — a live endpoint over frozen zeros would only mislead.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	SetEnabled(true)
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(ln) //nolint:errcheck // endpoint dies with the process
+	return ln.Addr().String(), nil
+}

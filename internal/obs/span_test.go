@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// closeBuf is a strings.Builder that records Close calls.
+type closeBuf struct {
+	strings.Builder
+	closed bool
+}
+
+func (b *closeBuf) Close() error { b.closed = true; return nil }
+
+// parseTrace asserts the written trace is a valid Chrome trace-event JSON
+// array and returns the events.
+func parseTrace(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(raw), &events); err != nil {
+		t.Fatalf("trace is not a valid JSON array: %v\n%s", err, raw)
+	}
+	return events
+}
+
+func TestSpanNoSinkIsNoop(t *testing.T) {
+	if Tracing() {
+		t.Fatal("unexpected installed tracer")
+	}
+	sp := StartSpan("x", 0)
+	sp.End() // must not panic
+	as := StartAsync("cat", "y")
+	as.End()
+	if WorkerTIDs(4, "w") != 0 {
+		t.Fatal("WorkerTIDs without sink must return 0")
+	}
+	if err := StopTrace(); err != nil {
+		t.Fatalf("StopTrace without sink: %v", err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf closeBuf
+	if err := StartTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !Tracing() {
+		t.Fatal("Tracing() false after StartTrace")
+	}
+	if err := StartTrace(&closeBuf{}); err == nil {
+		StopTrace()
+		t.Fatal("second StartTrace must fail")
+	}
+
+	base := WorkerTIDs(2, "worker")
+	sp := StartSpan("job", base)
+	time.Sleep(time.Millisecond)
+	sp.End(Arg{"i", 3}, Arg{"app", "gcc"})
+
+	as := StartAsync("memo", "wait")
+	as.End(Arg{"key", "k"})
+
+	if err := StopTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.closed {
+		t.Fatal("StopTrace must close a closable sink")
+	}
+	if Tracing() {
+		t.Fatal("Tracing() true after StopTrace")
+	}
+
+	events := parseTrace(t, buf.String())
+	var gotJob, gotBegin, gotEnd, gotMeta bool
+	for _, e := range events {
+		switch {
+		case e["name"] == "job" && e["ph"] == "X":
+			gotJob = true
+			if e["dur"].(float64) < 900 { // >= ~1ms in µs
+				t.Errorf("span dur %v too small", e["dur"])
+			}
+			args := e["args"].(map[string]any)
+			if args["i"].(float64) != 3 || args["app"] != "gcc" {
+				t.Errorf("span args = %v", args)
+			}
+			if int64(e["tid"].(float64)) != base {
+				t.Errorf("span tid = %v, want %d", e["tid"], base)
+			}
+		case e["name"] == "wait" && e["ph"] == "b":
+			gotBegin = true
+			if e["cat"] != "memo" {
+				t.Errorf("async cat = %v", e["cat"])
+			}
+		case e["name"] == "wait" && e["ph"] == "e":
+			gotEnd = true
+		case e["name"] == "thread_name" && e["ph"] == "M":
+			gotMeta = true
+		}
+	}
+	if !gotJob || !gotBegin || !gotEnd || !gotMeta {
+		t.Fatalf("missing events: job=%v b=%v e=%v meta=%v in %v", gotJob, gotBegin, gotEnd, gotMeta, events)
+	}
+}
+
+func TestServeHandler(t *testing.T) {
+	r := Default // handler reads the Default registry
+	_ = r
+	withEnabled(t, func() {
+		srv := httptest.NewServer(Handler())
+		defer srv.Close()
+
+		get := func(path string) (int, string) {
+			resp, err := srv.Client().Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var sb strings.Builder
+			buf := make([]byte, 64<<10)
+			for {
+				n, err := resp.Body.Read(buf)
+				sb.Write(buf[:n])
+				if err != nil {
+					break
+				}
+			}
+			return resp.StatusCode, sb.String()
+		}
+
+		if code, body := get("/"); code != 200 || !strings.Contains(body, "capsim") {
+			t.Fatalf("index: %d %q", code, body)
+		}
+		if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "obs.assert_failures") {
+			t.Fatalf("/metrics: %d %q", code, body)
+		}
+		code, body := get("/debug/vars")
+		if code != 200 {
+			t.Fatalf("/debug/vars: %d", code)
+		}
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("expvar JSON invalid: %v", err)
+		}
+		if _, ok := doc["capsim"]; !ok {
+			t.Fatal("expvar missing capsim snapshot")
+		}
+		if code, _ := get("/nope"); code != 404 {
+			t.Fatalf("unknown path: %d", code)
+		}
+	})
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	if m.Schema != ManifestSchema || m.Build.GoVersion == "" || m.Command == "" {
+		t.Fatalf("manifest header incomplete: %+v", m)
+	}
+	m.Experiments = append(m.Experiments, ExperimentRecord{ID: "fig7", WallNS: 42})
+	m.Final = TakeSnapshot()
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("manifest JSON invalid: %v", err)
+	}
+	if back.Schema != ManifestSchema || len(back.Experiments) != 1 || back.Experiments[0].ID != "fig7" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Fatal("manifest must end with newline")
+	}
+}

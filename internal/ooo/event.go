@@ -150,8 +150,10 @@ func (c *Core) fileReady(si int32, s *eslot) {
 	key := s.seq<<slotBits | int64(si)
 	switch d := s.readyAt - c.cycle; {
 	case d <= 0:
+		c.tal.filedDirect++
 		ev.pushEligible(key)
 	case d < nearBuckets:
+		c.tal.filedNear++
 		// Strict inequality: dispatch files entries before this cycle's
 		// bucket is drained, so readyAt = cycle+nearBuckets would land in
 		// the about-to-drain bucket and wake a full rotation early. d <
@@ -161,6 +163,7 @@ func (c *Core) fileReady(si int32, s *eslot) {
 		b := s.readyAt & nearMask
 		ev.near[b] = append(ev.near[b], si)
 	default:
+		c.tal.filedFar++
 		ev.pushFar(farEnt{ready: s.readyAt, key: key})
 	}
 }
@@ -251,6 +254,7 @@ func (c *Core) issueCycleEvent() {
 		h := s.head
 		s.head = nilLink
 		for h != nilLink {
+			c.tal.wakeups++
 			ci := h >> 1
 			k := h & 1
 			cs := &ev.slots[ci]

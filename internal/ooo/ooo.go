@@ -143,6 +143,12 @@ type Core struct {
 	memLat  func(write bool) int64
 
 	stats Stats
+
+	// Telemetry tallies and publish baselines (obs.go): plain unconditional
+	// increments on already-branchy paths, shipped as deltas by PublishObs.
+	tal      tallies
+	pubStats Stats
+	pubTal   tallies
 }
 
 // Stats accumulates execution statistics.
@@ -222,7 +228,7 @@ func (c *Core) Stats() Stats { return c.stats }
 
 // ResetStats zeroes counters without touching pipeline state (used to
 // discard warm-up and to delimit measurement intervals).
-func (c *Core) ResetStats() { c.stats = Stats{} }
+func (c *Core) ResetStats() { c.stats, c.pubStats = Stats{}, Stats{} }
 
 // Occupancy returns the current number of window entries in use.
 func (c *Core) Occupancy() int {
@@ -242,6 +248,7 @@ func (c *Core) Run(stream workload.InstrSource, n int64) Stats {
 	for c.stats.Issued < target {
 		c.Step(stream)
 	}
+	c.assertCheck()
 	return c.stats.Sub(before)
 }
 
@@ -459,6 +466,7 @@ func (c *Core) Resize(newSize int) error {
 	if newSize < 1 || newSize >= maxDist {
 		return fmt.Errorf("ooo: window size %d out of range", newSize)
 	}
+	c.tal.resizes++
 	if newSize < c.Occupancy() {
 		c.Drain(newSize)
 	}
@@ -473,6 +481,7 @@ func (c *Core) Resize(newSize int) error {
 		c.window = w
 	}
 	c.cfg.WindowSize = newSize
+	c.assertCheck()
 	return nil
 }
 
@@ -482,6 +491,7 @@ func (c *Core) Resize(newSize int) error {
 // ring's span land zeroed, which lookupDone's recycling rule already treats
 // as retired-with-result-available.
 func (c *Core) growRing(need int) {
+	c.tal.ringGrows++
 	old, oldMask := c.done, c.mask
 	c.done = make([]int64, need)
 	c.mask = int64(need - 1)

@@ -28,7 +28,27 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"capsim/internal/obs"
 )
+
+// Telemetry (internal/obs). Counters/gauges are no-ops unless -obs (or a
+// sink flag) enabled them; spans are no-ops unless -trace-out installed a
+// sink. Busy-ns adds land on the worker's own counter lane, so the pool's
+// telemetry never bounces a cache line between workers.
+var (
+	obsRuns       = obs.NewCounter("sweep.runs")          // Run/RunN invocations
+	obsJobs       = obs.NewCounter("sweep.jobs")          // jobs executed
+	obsBusyNS     = obs.NewCounter("sweep.busy_ns")       // per-worker time inside fn
+	obsJobNS      = obs.NewHistogram("sweep.job_ns")      // per-job wall time
+	obsQueueDepth = obs.NewGauge("sweep.queue_depth")     // unclaimed jobs of the latest pass
+	obsWorkers    = obs.NewGauge("sweep.workers_current") // workers of the latest parallel pass
+)
+
+// observing reports whether per-job timing should be collected: either the
+// metric registry is live or a span sink is installed. One branch per job.
+func observing() bool { return obs.Enabled() || obs.Tracing() }
 
 // defaultWorkers holds the process-wide worker count used by Run when the
 // caller does not specify one. Zero (the initial value) means "use
@@ -80,9 +100,29 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	obsRuns.Inc1()
 	if workers == 1 {
 		// Serial fast path: no goroutines, no synchronization. This is the
-		// baseline the determinism tests compare parallel runs against.
+		// baseline the determinism tests compare parallel runs against. The
+		// telemetry branch below never influences fn — it only measures it.
+		if observing() {
+			tid := obs.WorkerTIDs(1, "sweep-serial")
+			for i := 0; i < n; i++ {
+				sp := obs.StartSpan("sweep.job", tid)
+				t0 := time.Now()
+				v, err := fn(i)
+				ns := time.Since(t0).Nanoseconds()
+				sp.End(obs.Arg{K: "i", V: i})
+				obsJobs.Inc(0)
+				obsBusyNS.Add(0, ns)
+				obsJobNS.Observe(ns)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = v
+			}
+			return results, nil
+		}
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
 			if err != nil {
@@ -93,21 +133,47 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return results, nil
 	}
 
+	obsWorkers.Set(int64(workers))
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	// Reserve a block of fresh trace thread ids for this pass so nested
+	// RunN invocations render on distinct timeline tracks. Zero when no
+	// trace sink is installed.
+	tidBase := obs.WorkerTIDs(workers, "sweep")
+	watch := observing()
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				if watch {
+					// Depth is approximate by design: it samples the shared
+					// claim counter, which other workers advance concurrently.
+					if left := int64(n) - next.Load(); left > 0 {
+						obsQueueDepth.Set(left)
+					} else {
+						obsQueueDepth.Set(0)
+					}
+					sp := obs.StartSpan("sweep.job", tidBase+int64(w))
+					t0 := time.Now()
+					results[i], errs[i] = fn(i)
+					ns := time.Since(t0).Nanoseconds()
+					sp.End(obs.Arg{K: "i", V: i})
+					// Busy time lands on the worker's own counter lane so
+					// concurrent adds never share a cache line.
+					obsJobs.Inc(w)
+					obsBusyNS.Add(w, ns)
+					obsJobNS.Observe(ns)
+					continue
+				}
 				results[i], errs[i] = fn(i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
+	"unsafe"
 )
 
 // Geometry is the part of a cache organization that determines the
@@ -68,6 +70,7 @@ func DecodedFor(s *RefStore, g Geometry) *DecodedStore {
 		panic(err)
 	}
 	return decStores.Get(decKey{s, g}, func() *DecodedStore {
+		defer publishStoreGauge()
 		d := &DecodedStore{src: s, geo: g}
 		d.blockShift = uint(bits.TrailingZeros(uint(g.BlockBytes)))
 		if g.Sets&(g.Sets-1) == 0 {
@@ -110,6 +113,7 @@ func (d *DecodedStore) ensure(n int64) {
 		cur = *cs
 	}
 	for int64(len(cur))*ChunkLen < n {
+		t0 := time.Now()
 		src := d.src.chunk(int64(len(cur)))
 		c := new(decChunk)
 		for i := 0; i < ChunkLen; i++ {
@@ -120,6 +124,9 @@ func (d *DecodedStore) ensure(n int64) {
 		next[len(cur)] = c
 		cur = next
 		d.chunks.Store(&next)
+		obsDecChunks.Inc1()
+		obsBytes.Add1(int64(unsafe.Sizeof(decChunk{})))
+		obsGenNS.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 

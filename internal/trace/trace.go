@@ -36,10 +36,36 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+	"unsafe"
 
 	"capsim/internal/memo"
+	"capsim/internal/obs"
 	"capsim/internal/workload"
 )
+
+// Telemetry (internal/obs). Materialization happens under each store's lock
+// at chunk granularity, so one counter add per ChunkLen (32768) references is
+// far off the replay hot path; cursors themselves are untouched.
+var (
+	obsRefChunks = obs.NewCounter("trace.ref_chunks")    // reference chunks materialized
+	obsOpChunks  = obs.NewCounter("trace.op_chunks")     // instruction chunks materialized
+	obsDecChunks = obs.NewCounter("trace.dec_chunks")    // decoded chunks materialized
+	obsBytes     = obs.NewCounter("trace.bytes")         // bytes of materialized store data
+	obsGenNS     = obs.NewHistogram("trace.gen_ns")      // per-chunk generation wall time
+	obsStores    = obs.NewGauge("trace.stores_current")  // live stores after the last ensure
+	obsResets    = obs.NewCounter("trace.stores_resets") // Reset invocations
+)
+
+// publishStoreGauge refreshes the live-store gauge; called after any store
+// creation or Reset, both of which are rare and off the hot path.
+func publishStoreGauge() {
+	if !obs.Enabled() {
+		return
+	}
+	r, o, d := StoreCounts()
+	obsStores.Set(int64(r + o + d))
+}
 
 // ChunkLen is the number of references (or instructions) per store chunk.
 // Chunks are generated whole before being published, so ChunkLen bounds both
@@ -104,6 +130,8 @@ func Reset() {
 	refStores.Reset()
 	opStores.Reset()
 	decStores.Reset()
+	obsResets.Inc1()
+	publishStoreGauge()
 }
 
 // StoreCounts reports how many reference, instruction and decoded stores are
@@ -138,6 +166,7 @@ func RefsFor(b workload.Benchmark, seed uint64) *RefStore {
 		panic("trace: " + b.Name + " has no memory profile")
 	}
 	return refStores.Get(refKey{b.Mem, b.Name, seed}, func() *RefStore {
+		defer publishStoreGauge()
 		return &RefStore{gen: workload.NewAddressTrace(b, seed)}
 	})
 }
@@ -162,6 +191,7 @@ func (s *RefStore) ensure(n int64) {
 		cur = *cs
 	}
 	for int64(len(cur))*ChunkLen < n {
+		t0 := time.Now()
 		c := new(refChunk)
 		for i := 0; i < ChunkLen; i++ {
 			r := s.gen.Next()
@@ -175,6 +205,9 @@ func (s *RefStore) ensure(n int64) {
 		next[len(cur)] = c
 		cur = next
 		s.chunks.Store(&next)
+		obsRefChunks.Inc1()
+		obsBytes.Add1(int64(unsafe.Sizeof(refChunk{})))
+		obsGenNS.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -237,6 +270,7 @@ type OpStore struct {
 // first use with singleflight semantics.
 func OpsFor(b workload.Benchmark, seed uint64) *OpStore {
 	return opStores.Get(opKey{b.Name, seed, ilpFingerprint(b.ILP)}, func() *OpStore {
+		defer publishStoreGauge()
 		return &OpStore{gen: workload.NewInstrStream(b, seed)}
 	})
 }
@@ -261,6 +295,7 @@ func (s *OpStore) ensure(n int64) {
 		cur = *cs
 	}
 	for int64(len(cur))*ChunkLen < n {
+		t0 := time.Now()
 		c := new(opChunk)
 		for i := 0; i < ChunkLen; i++ {
 			c.ops[i] = s.gen.Next()
@@ -270,6 +305,9 @@ func (s *OpStore) ensure(n int64) {
 		next[len(cur)] = c
 		cur = next
 		s.chunks.Store(&next)
+		obsOpChunks.Inc1()
+		obsBytes.Add1(int64(unsafe.Sizeof(opChunk{})))
+		obsGenNS.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 

@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke clean
+.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke serve-smoke clean
 
 all: build
 
@@ -43,7 +43,15 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke
+ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke serve-smoke
+
+# serve-smoke boots the experiment API server (-serve-api) on an ephemeral
+# port and proves the service contract end to end: POST /v1/run renders
+# byte-identical to the CLI, a repeat request hits the response cache, a
+# request against a busy run slot gets 429, a disconnected client's sweep
+# stops claiming jobs, and SIGTERM drains the process to a zero exit.
+serve-smoke:
+	@GO="$(GO)" sh scripts/serve_smoke.sh
 
 # bench writes BENCH_sweep.json: a two-element array holding the full
 # -experiment all evaluation measured at -parallel 1 and at -parallel 8,
@@ -173,3 +181,4 @@ clean:
 	  /tmp/capsim_bench_q_scan_legacy.json /tmp/capsim_bench_q_scan_onepass.json \
 	  /tmp/capsim_bench_q_event_legacy.json /tmp/capsim_bench_q_event_onepass.json \
 	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt
+	rm -rf /tmp/capsim_serve_smoke

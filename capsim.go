@@ -26,6 +26,8 @@
 package capsim
 
 import (
+	"context"
+
 	"capsim/internal/cache"
 	"capsim/internal/core"
 	"capsim/internal/experiments"
@@ -120,6 +122,14 @@ func Experiments() []string { return experiments.IDs() }
 // RunExperiment regenerates one of the paper's tables/figures.
 func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
 	return experiments.Run(id, cfg)
+}
+
+// RunExperimentCtx is RunExperiment under a context: cancelling ctx stops
+// the experiment's sweep pools from claiming new simulation jobs and returns
+// ctx's error. Safe for concurrent use; concurrent calls with equal
+// configurations share the memoized profiling passes.
+func RunExperimentCtx(ctx context.Context, id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return experiments.RunCtx(ctx, id, cfg)
 }
 
 // DefaultExperimentConfig returns the standard (scaled-down) run budgets.

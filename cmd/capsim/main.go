@@ -32,18 +32,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"capsim/internal/experiments"
 	"capsim/internal/obs"
 	"capsim/internal/ooo"
+	"capsim/internal/server"
 	"capsim/internal/sweep"
 	"capsim/internal/tech"
 	"capsim/internal/trace"
@@ -128,6 +132,12 @@ func run() error {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event timeline (chrome://tracing, ui.perfetto.dev) to this file")
 		metricsOut  = flag.String("metrics-out", "", "write a run manifest (build provenance, flags, per-experiment cost, counter snapshot) as JSON to this file")
 		serveAddr   = flag.String("serve", "", "serve live metrics (expvar + /metrics) on this address, e.g. :8417")
+		serveAPI    = flag.String("serve-api", "", "run the experiment API server on this address, e.g. :8418 (instead of a one-shot -experiment run)")
+		apiInFlight = flag.Int("api-inflight", 2, "serve-api: maximum concurrently executing runs")
+		apiWait     = flag.Duration("api-queue-wait", 2*time.Second, "serve-api: how long an inadmissible request may queue for a run slot before 429")
+		apiTimeout  = flag.Duration("api-timeout", 0, "serve-api: per-run wall-time limit (0 = unbounded; a request's timeout_ms can only tighten it)")
+		apiCache    = flag.Int("api-cache", 64, "serve-api: response-cache entries, LRU (0 disables); also bounds the study-pass memos")
+		drainGrace  = flag.Duration("drain-grace", 15*time.Second, "serve-api: how long in-flight runs may finish after SIGINT/SIGTERM before their sweeps are cancelled")
 	)
 	flag.Parse()
 
@@ -138,8 +148,8 @@ func run() error {
 		}
 		return nil
 	}
-	if *experiment == "" {
-		return usageErr("-experiment required (or -list); e.g. capsim -experiment fig9")
+	if *experiment == "" && *serveAPI == "" {
+		return usageErr("-experiment required (or -list, or -serve-api); e.g. capsim -experiment fig9")
 	}
 
 	sweep.SetDefaultWorkers(*parallel)
@@ -159,12 +169,21 @@ func run() error {
 	obsEnabled := *obsOn || *metricsOut != ""
 	obs.SetEnabled(obsEnabled)
 	if *serveAddr != "" {
-		addr, err := obs.Serve(*serveAddr)
+		h, err := obs.Serve(*serveAddr)
 		if err != nil {
 			return fmt.Errorf("-serve: %w", err)
 		}
+		// Drain the endpoint before exit instead of dying mid-write: the
+		// old code leaked the listener and server for the process lifetime.
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			if serr := h.Shutdown(sctx); serr != nil {
+				fmt.Fprintf(os.Stderr, "capsim: -serve shutdown: %v\n", serr)
+			}
+		}()
 		obsEnabled = true
-		fmt.Fprintf(os.Stderr, "capsim: live metrics on http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "capsim: live metrics on http://%s/metrics\n", h.Addr())
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -206,6 +225,17 @@ func run() error {
 	cfg.PenaltyCycles = *penalty
 	cfg.Feature = tech.FeatureSize(*feature)
 	cfg.CacheParams.Feature = cfg.Feature
+
+	if *serveAPI != "" {
+		return serveAPIMode(*serveAPI, cfg, serveOptions{
+			inFlight:   *apiInFlight,
+			queueWait:  *apiWait,
+			runTimeout: *apiTimeout,
+			cache:      *apiCache,
+			drainGrace: *drainGrace,
+			parallel:   *parallel,
+		})
+	}
 
 	ids := []string{*experiment}
 	if *experiment == "all" {
@@ -294,6 +324,60 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "capsim: wrote run manifest %s (%d experiments)\n", *metricsOut, len(manifest.Experiments))
 	}
+	return nil
+}
+
+// serveOptions carries the -serve-api tuning flags into serveAPIMode.
+type serveOptions struct {
+	inFlight   int
+	queueWait  time.Duration
+	runTimeout time.Duration
+	cache      int
+	drainGrace time.Duration
+	parallel   int
+}
+
+// serveAPIMode runs the experiment API server until SIGINT/SIGTERM, then
+// drains: new runs get 503 immediately, in-flight runs get the drain grace
+// period to finish, after which their sweeps are cancelled. The base
+// configuration (budgets a request's absent fields inherit) is the same one
+// the flag set builds for a one-shot run.
+func serveAPIMode(addr string, cfg experiments.Config, so serveOptions) error {
+	// A long-lived process sweeping arbitrary client configurations must
+	// bound its memoized profiling passes; the one-shot CLI path never does.
+	if so.cache > 0 {
+		experiments.SetStudyCacheCap(so.cache)
+	}
+	// Telemetry is on for a service: /metrics over frozen zeros would only
+	// mislead, and counters are cheap (see internal/obs).
+	obs.SetEnabled(true)
+
+	srv := server.New(server.Options{
+		BaseConfig:   cfg,
+		MaxInFlight:  so.inFlight,
+		QueueWait:    so.queueWait,
+		RunTimeout:   so.runTimeout,
+		CacheEntries: so.cache,
+		MaxParallel:  so.parallel,
+	})
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return fmt.Errorf("-serve-api: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "capsim: experiment API on http://%s (GET /v1/experiments, POST /v1/run, /healthz, /metrics)\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	fmt.Fprintf(os.Stderr, "capsim: draining (in-flight runs get %s)\n", so.drainGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), so.drainGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("-serve-api: drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "capsim: drained")
 	return nil
 }
 

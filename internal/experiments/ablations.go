@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/cache"
@@ -48,8 +49,8 @@ func runIntervalPolicy(cfg Config, app string, sizes []int, p core.Policy, inter
 // better of the two configurations each interval, ignoring switch costs — a
 // lower bound no realizable predictor can beat. The two traces are
 // independent simulations and run in parallel.
-func oracleTPI(cfg Config, app string, sizes []int, intervals int64) (float64, error) {
-	traces, err := sweep.Run(2, func(i int) ([]float64, error) {
+func oracleTPI(ctx context.Context, cfg Config, app string, sizes []int, intervals int64) (float64, error) {
+	traces, err := sweep.RunCtx(ctx, 2, func(i int) ([]float64, error) {
 		return intervalTrace(cfg, app, sizes[i], intervals)
 	})
 	if err != nil {
@@ -67,7 +68,7 @@ func oracleTPI(cfg Config, app string, sizes []int, intervals int64) (float64, e
 	return sum / float64(len(a)), nil
 }
 
-func ablationInterval(cfg Config) (Result, error) {
+func ablationInterval(ctx context.Context, cfg Config) (Result, error) {
 	const intervals = 1500
 	t := metrics.Table{
 		ID:      "ablation-interval",
@@ -84,7 +85,7 @@ func ablationInterval(cfg Config) (Result, error) {
 	// The per-application studies are independent; within one, the fixed
 	// baselines, the adaptive run and the oracle are independent too. Fan
 	// all of it out (nested sweeps are safe) and assemble rows in app order.
-	rows, err := sweep.Run(len(apps), func(ai int) (row, error) {
+	rows, err := sweep.RunCtx(ctx, len(apps), func(ai int) (row, error) {
 		app := apps[ai]
 		sizes, err := intervalCandidates(app)
 		if err != nil {
@@ -92,7 +93,7 @@ func ablationInterval(cfg Config) (Result, error) {
 		}
 		// Best fixed: run both configurations to completion, keep the
 		// better (the process-level choice between the two).
-		fixed, err := sweep.Run(len(sizes), func(i int) (float64, error) {
+		fixed, err := sweep.RunCtx(ctx, len(sizes), func(i int) (float64, error) {
 			r, err := runIntervalPolicy(cfg, app, sizes, core.FixedPolicy{Config: i}, intervals)
 			return r.TPI, err
 		})
@@ -110,7 +111,7 @@ func ablationInterval(cfg Config) (Result, error) {
 		if err != nil {
 			return row{}, err
 		}
-		oracle, err := oracleTPI(cfg, app, sizes, intervals)
+		oracle, err := oracleTPI(ctx, cfg, app, sizes, intervals)
 		if err != nil {
 			return row{}, err
 		}
@@ -133,7 +134,7 @@ func ablationInterval(cfg Config) (Result, error) {
 	}, nil
 }
 
-func ablationSwitch(cfg Config) (Result, error) {
+func ablationSwitch(ctx context.Context, cfg Config) (Result, error) {
 	const intervals = 1200
 	sizes, err := intervalCandidates("vortex")
 	if err != nil {
@@ -148,7 +149,7 @@ func ablationSwitch(cfg Config) (Result, error) {
 	// Each penalty point is an independent simulation: sweep them in
 	// parallel, collecting by penalty index.
 	penalties := []int{0, 10, 20, 50, 100, 200}
-	runs, err := sweep.Run(len(penalties), func(i int) (core.RunResult, error) {
+	runs, err := sweep.RunCtx(ctx, len(penalties), func(i int) (core.RunResult, error) {
 		c := cfg
 		c.PenaltyCycles = penalties[i]
 		return runIntervalPolicy(c, "vortex", sizes, &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
@@ -175,7 +176,7 @@ func ablationSwitch(cfg Config) (Result, error) {
 // ablationIncrement compares the paper's chosen 8KB 2-way increment design
 // against the competing 4KB direct-mapped two-way-banked increment design it
 // mentions rejecting in Section 5.2.1.
-func ablationIncrement(cfg Config) (Result, error) {
+func ablationIncrement(ctx context.Context, cfg Config) (Result, error) {
 	alt := cache.Params{
 		Increments:     32,
 		IncrementBytes: 4 * 1024,
@@ -193,7 +194,7 @@ func ablationIncrement(cfg Config) (Result, error) {
 	// parallelizes its boundaries internally. Column 0 is the paper's 8KB
 	// 2-way design, column 1 the rejected 4KB direct-mapped alternative
 	// (same 64 KB maximum L1: 16 increments of 4 KB).
-	grid, err := sweep.Grid(len(apps), 2, func(a, d int) (float64, error) {
+	grid, err := sweep.GridCtx(ctx, len(apps), 2, func(a, d int) (float64, error) {
 		b, err := workload.ByName(apps[a])
 		if err != nil {
 			return 0, err
@@ -228,7 +229,7 @@ func ablationIncrement(cfg Config) (Result, error) {
 // structures at minimum size on the slowest clock. The energy proxy per
 // instruction is active-capacity-fraction x CPI (switched capacitance scales
 // with enabled structure, energy with cycles spent).
-func ablationPower(cfg Config) (Result, error) {
+func ablationPower(ctx context.Context, cfg Config) (Result, error) {
 	apps := []string{"gcc", "swim", "stereo"}
 	t := metrics.Table{
 		ID:      "ablation-power",
@@ -237,7 +238,7 @@ func ablationPower(cfg Config) (Result, error) {
 	}
 	// Per-application profiling passes are independent; sweep them and
 	// assemble rows in app order.
-	tables, err := sweep.Run(len(apps), func(a int) ([]float64, error) {
+	tables, err := sweep.RunCtx(ctx, len(apps), func(a int) ([]float64, error) {
 		b, err := workload.ByName(apps[a])
 		if err != nil {
 			return nil, err

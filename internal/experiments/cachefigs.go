@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/core"
@@ -46,8 +47,8 @@ func cacheStudyKey(cfg Config) string {
 // pass over the shared materialized trace (or, with -onepass=false, sweeps
 // the 8 boundaries as nested jobs). Results land at their slice index, so the
 // output is byte-identical at any worker count and on either path.
-func runCacheStudy(cfg Config) (*cacheStudy, error) {
-	return cacheStudies.Do(cacheStudyKey(cfg), func() (*cacheStudy, error) {
+func runCacheStudy(ctx context.Context, cfg Config) (*cacheStudy, error) {
+	return studyDo(ctx, &cacheStudies, cacheStudyKey(cfg), func() (*cacheStudy, error) {
 		s := &cacheStudy{
 			apps:    workload.CacheApps(),
 			tpi:     map[string][]float64{},
@@ -55,7 +56,7 @@ func runCacheStudy(cfg Config) (*cacheStudy, error) {
 		}
 		nB := core.PaperMaxBoundary
 		type cell struct{ tpi, miss []float64 }
-		rows, err := sweep.Run(len(s.apps), func(a int) (cell, error) {
+		rows, err := sweep.RunCtx(ctx, len(s.apps), func(a int) (cell, error) {
 			tpi, miss, err := core.ProfileCacheTPI(s.apps[a], cfg.Seed, cfg.CacheParams, nB, cfg.CacheWarmRefs, cfg.CacheRefs)
 			return cell{tpi, miss}, err
 		})
@@ -85,8 +86,8 @@ func runCacheStudy(cfg Config) (*cacheStudy, error) {
 
 // fig7 renders the per-application TPI-vs-L1-size curves, split into the
 // paper's integer (a) and floating-point (b) panels.
-func fig7(cfg Config) (Result, error) {
-	s, err := runCacheStudy(cfg)
+func fig7(ctx context.Context, cfg Config) (Result, error) {
+	s, err := runCacheStudy(ctx, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -153,8 +154,8 @@ func cacheCompareTable(cfg Config, s *cacheStudy, id, title string, pick func(ap
 	return t
 }
 
-func fig8(cfg Config) (Result, error) {
-	s, err := runCacheStudy(cfg)
+func fig8(ctx context.Context, cfg Config) (Result, error) {
+	s, err := runCacheStudy(ctx, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -167,8 +168,8 @@ func fig8(cfg Config) (Result, error) {
 	}, nil
 }
 
-func fig9(cfg Config) (Result, error) {
-	s, err := runCacheStudy(cfg)
+func fig9(ctx context.Context, cfg Config) (Result, error) {
+	s, err := runCacheStudy(ctx, cfg)
 	if err != nil {
 		return Result{}, err
 	}

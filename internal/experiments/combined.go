@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/core"
@@ -33,7 +34,7 @@ func combinedBoundaries() []int { return []int{1, 2, 6, 8} }
 //     naive composition of the paper's two experiments), then the joint
 //     clock is applied — cross-structure coupling can void the choice;
 //   - joint oracle: the best configuration of the joint space.
-func ablationCombined(cfg Config) (Result, error) {
+func ablationCombined(ctx context.Context, cfg Config) (Result, error) {
 	apps := []string{"gcc", "stereo", "appcg", "compress", "swim"}
 	qs := combinedQueueSizes()
 	bs := combinedBoundaries()
@@ -73,7 +74,7 @@ func ablationCombined(cfg Config) (Result, error) {
 			points = append(points, core.CombinedConfig{QueueEntries: w, Boundary: k})
 		}
 	}
-	grid, err := sweep.Grid(len(apps), len(points), func(a, j int) (float64, error) {
+	grid, err := sweep.GridCtx(ctx, len(apps), len(points), func(a, j int) (float64, error) {
 		return run(apps[a], points[j])
 	})
 	if err != nil {

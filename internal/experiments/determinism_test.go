@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"capsim/internal/ooo"
@@ -143,7 +144,7 @@ func TestBudgetScaling(t *testing.T) {
 	big.CacheRefs = small.CacheRefs * 2
 
 	avg := func(cfg Config) float64 {
-		s, err := runCacheStudy(cfg)
+		s, err := runCacheStudy(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,12 +7,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"capsim/internal/cache"
+	"capsim/internal/memo"
 	"capsim/internal/metrics"
 	"capsim/internal/obs"
 	"capsim/internal/tech"
@@ -108,8 +111,11 @@ func (r Result) Render() string {
 	return b.String()
 }
 
-// Runner is an experiment driver.
-type Runner func(Config) (Result, error)
+// Runner is an experiment driver. Drivers observe ctx at sweep-job
+// granularity: cancellation stops the driver's worker pools from claiming
+// new simulation jobs (see DESIGN.md "Experiment service & the cancellation
+// contract"); a job already executing runs to completion.
+type Runner func(ctx context.Context, cfg Config) (Result, error)
 
 var registry = map[string]struct {
 	title string
@@ -156,8 +162,19 @@ func ResetCaches() {
 	trace.Reset()
 }
 
-// Run executes the experiment with the given configuration.
+// Run executes the experiment with the given configuration. It is RunCtx
+// under context.Background() — the one-shot CLI path, which nothing cancels.
 func Run(id string, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), id, cfg)
+}
+
+// RunCtx executes the experiment with the given configuration under ctx.
+// Cancelling ctx stops the driver's sweep pools from claiming new simulation
+// jobs and returns ctx's error; partial results are never returned. RunCtx
+// is safe for concurrent use — the experiment API server invokes it from one
+// goroutine per request — and concurrent invocations with equal
+// configurations share the memoized profiling passes (singleflight).
+func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
 	e, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
@@ -165,10 +182,13 @@ func Run(id string, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	obsExperiments.Inc1()
 	sp := obs.StartSpan("experiment:"+id, 0)
 	t0 := time.Now()
-	res, err := e.run(cfg)
+	res, err := e.run(ctx, cfg)
 	obsExpNS.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		obsExpErrors.Inc1()
@@ -177,4 +197,34 @@ func Run(id string, cfg Config) (Result, error) {
 	}
 	sp.End(obs.Arg{K: "figures", V: len(res.Figures)}, obs.Arg{K: "tables", V: len(res.Tables)})
 	return res, nil
+}
+
+// SetStudyCacheCap bounds the memoized cache- and queue-study passes to at
+// most n entries each, with deterministic LRU eviction (memo.SetCap). The
+// long-lived API server sets this at startup so a stream of requests with
+// distinct seeds or budgets cannot grow the process without bound; the
+// one-shot CLI never calls it and keeps the unbounded default.
+func SetStudyCacheCap(n int) {
+	cacheStudies.SetCap(n)
+	queueStudies.SetCap(n)
+}
+
+// studyDo wraps a study memo's Do with the cancellation contract: a
+// profiling pass that failed with a context error is forgotten instead of
+// memoized, because the cancellation belonged to whichever request happened
+// to compute the entry — not to the configuration. Callers whose own ctx is
+// still live retry (and recompute under their ctx); callers whose ctx caused
+// the cancellation return it. Deterministic compute errors stay memoized as
+// before.
+func studyDo[V any](ctx context.Context, m *memo.Memo[string, V], key string, fn func() (V, error)) (V, error) {
+	for {
+		v, err := m.Do(key, fn)
+		if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)) {
+			return v, err
+		}
+		m.Forget(key)
+		if ctx.Err() != nil {
+			return v, err
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/bpred"
@@ -22,7 +23,7 @@ func init() {
 // shrinks the whole TLB and large-footprint applications pay page walks;
 // with it, every configuration retains full capacity and the fast small
 // primary is nearly always the right choice.
-func ablationTLB(cfg Config) (Result, error) {
+func ablationTLB(ctx context.Context, cfg Config) (Result, error) {
 	p := tlb.DefaultParams()
 	p.Feature = cfg.Feature
 	t := metrics.Table{
@@ -39,7 +40,7 @@ func ablationTLB(cfg Config) (Result, error) {
 	// Groups) grid across the sweep pool and reduce each row to its per-mode
 	// best serially (the reduction scans groups in ascending order, so the
 	// first-strictly-smaller tie-break matches the old serial loop).
-	grid, err := sweep.Grid(len(apps), 2*p.Groups, func(a, j int) (float64, error) {
+	grid, err := sweep.GridCtx(ctx, len(apps), 2*p.Groups, func(a, j int) (float64, error) {
 		b, err := workload.ByName(apps[a])
 		if err != nil {
 			return 0, err
@@ -97,7 +98,7 @@ func ablationTLB(cfg Config) (Result, error) {
 
 // ablationBpred sizes the adaptive gshare table under varying aliasing
 // pressure (static branch population standing in for application size).
-func ablationBpred(cfg Config) (Result, error) {
+func ablationBpred(ctx context.Context, cfg Config) (Result, error) {
 	p := bpred.DefaultParams()
 	p.Feature = cfg.Feature
 	sizes := p.Sizes()
@@ -109,7 +110,7 @@ func ablationBpred(cfg Config) (Result, error) {
 	// Each (static population, table size) cell owns its predictor and
 	// branch generator: sweep the grid and assemble rows by index.
 	statics := []int{200, 800, 1600, 3200}
-	grid, err := sweep.Grid(len(statics), len(sizes), func(s, i int) (float64, error) {
+	grid, err := sweep.GridCtx(ctx, len(statics), len(sizes), func(s, i int) (float64, error) {
 		pr := bpred.MustNew(p, sizes[i])
 		g := bpred.NewBranchGen(cfg.Seed, statics[s], 0.3)
 		const warm, measure = 120_000, 200_000

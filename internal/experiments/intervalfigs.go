@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/core"
@@ -85,7 +86,7 @@ func snapshotNote(label, nameA, nameB string, lo, hi int64, a, b []float64) stri
 		label, winner, 100*margin, nameA, avgA, nameB, avgB, flips)
 }
 
-func fig12(cfg Config) (Result, error) {
+func fig12(ctx context.Context, cfg Config) (Result, error) {
 	// turb3d alternates 64- and 128-entry-favouring phases in blocks of
 	// PeriodInstrs; snapshot (a) sits inside the first (base) block,
 	// snapshot (b) inside the second (alt) block.
@@ -101,7 +102,7 @@ func fig12(cfg Config) (Result, error) {
 	// The two fixed-configuration traces are independent simulations: run
 	// them in parallel.
 	entries := []int{64, 128}
-	traces, err := sweep.Run(2, func(i int) ([]float64, error) {
+	traces, err := sweep.RunCtx(ctx, 2, func(i int) ([]float64, error) {
 		return intervalTrace(cfg, "turb3d", entries[i], total)
 	})
 	if err != nil {
@@ -121,7 +122,7 @@ func fig12(cfg Config) (Result, error) {
 	}, nil
 }
 
-func fig13(cfg Config) (Result, error) {
+func fig13(ctx context.Context, cfg Config) (Result, error) {
 	// vortex alternates regular stretches (the best configuration flips
 	// about every 15 intervals) with irregular stretches; snapshot (a)
 	// sits in the regular super-block, snapshot (b) in the irregular one.
@@ -136,7 +137,7 @@ func fig13(cfg Config) (Result, error) {
 
 	// As in fig12, the two traces are independent; fan them out.
 	entries := []int{16, 64}
-	traces, err := sweep.Run(2, func(i int) ([]float64, error) {
+	traces, err := sweep.RunCtx(ctx, 2, func(i int) ([]float64, error) {
 		return intervalTrace(cfg, "vortex", entries[i], total)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/core"
@@ -40,14 +41,14 @@ func queueStudyKey(cfg Config) string {
 // trace disabled, sweeps them as nested per-configuration jobs). Results are
 // collected by index, never by completion order, so output is byte-identical
 // at any worker count, either -onepass setting, and either -queue-engine.
-func runQueueStudy(cfg Config) (*queueStudy, error) {
-	return queueStudies.Do(queueStudyKey(cfg), func() (*queueStudy, error) {
+func runQueueStudy(ctx context.Context, cfg Config) (*queueStudy, error) {
+	return studyDo(ctx, &queueStudies, queueStudyKey(cfg), func() (*queueStudy, error) {
 		s := &queueStudy{
 			apps:  workload.QueueApps(),
 			sizes: core.PaperQueueSizes(),
 			tpi:   map[string][]float64{},
 		}
-		rows, err := sweep.Run(len(s.apps), func(a int) ([]float64, error) {
+		rows, err := sweep.RunCtx(ctx, len(s.apps), func(a int) ([]float64, error) {
 			return core.ProfileQueueTPI(s.apps[a], cfg.Seed, s.sizes, cfg.QueueInstrs, cfg.Feature)
 		})
 		if err != nil {
@@ -74,8 +75,8 @@ func runQueueStudy(cfg Config) (*queueStudy, error) {
 
 // fig10 renders per-application TPI vs queue size, split into the paper's
 // integer (a) and floating-point (b) panels.
-func fig10(cfg Config) (Result, error) {
-	s, err := runQueueStudy(cfg)
+func fig10(ctx context.Context, cfg Config) (Result, error) {
+	s, err := runQueueStudy(ctx, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -110,8 +111,8 @@ func fig10(cfg Config) (Result, error) {
 	}, nil
 }
 
-func fig11(cfg Config) (Result, error) {
-	s, err := runQueueStudy(cfg)
+func fig11(ctx context.Context, cfg Config) (Result, error) {
+	s, err := runQueueStudy(ctx, cfg)
 	if err != nil {
 		return Result{}, err
 	}

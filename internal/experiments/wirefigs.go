@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/cacti"
@@ -12,9 +13,9 @@ import (
 
 func init() {
 	register("fig1a", "Cache wire delay vs number of 2KB subarrays (Figure 1a)",
-		func(cfg Config) (Result, error) { return wireCacheFig("fig1a", 2048, cfg) })
+		func(_ context.Context, cfg Config) (Result, error) { return wireCacheFig("fig1a", 2048, cfg) })
 	register("fig1b", "Cache wire delay vs number of 4KB subarrays (Figure 1b)",
-		func(cfg Config) (Result, error) { return wireCacheFig("fig1b", 4096, cfg) })
+		func(_ context.Context, cfg Config) (Result, error) { return wireCacheFig("fig1b", 4096, cfg) })
 	register("fig2", "Integer queue wire delay vs number of entries (Figure 2)", fig2)
 }
 
@@ -71,7 +72,7 @@ func wireCacheFig(id string, subarrayBytes int, _ Config) (Result, error) {
 
 // fig2 regenerates Figure 2: integer-queue bus delay vs entry count, with
 // each R10000-style entry equivalent to ~60 bytes of single-ported RAM.
-func fig2(_ Config) (Result, error) {
+func fig2(_ context.Context, _ Config) (Result, error) {
 	ref := tech.ForFeature(refFeature)
 	ns := []int{16, 24, 32, 40, 48, 56, 64}
 	xs := make([]float64, len(ns))

@@ -18,6 +18,7 @@
 package memo
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,28 +32,60 @@ import (
 // singleflight stalls the trace timeline makes visible. All of it is gated on
 // obs being live, so the plain path pays one predicted branch per Do.
 var (
-	obsHits   = obs.NewCounter("memo.hits")         // result already memoized
-	obsMisses = obs.NewCounter("memo.misses")       // this call computed the entry
-	obsWaits  = obs.NewCounter("memo.waits")        // blocked on an in-flight compute
-	obsWaitNS = obs.NewHistogram("memo.wait_ns")    // time spent blocked
-	obsCompNS = obs.NewHistogram("memo.compute_ns") // time inside fn
+	obsHits    = obs.NewCounter("memo.hits")         // result already memoized
+	obsMisses  = obs.NewCounter("memo.misses")       // this call computed the entry
+	obsWaits   = obs.NewCounter("memo.waits")        // blocked on an in-flight compute
+	obsEvicts  = obs.NewCounter("memo.evictions")    // entries evicted by a SetCap bound
+	obsForgets = obs.NewCounter("memo.forgets")      // entries dropped by Forget
+	obsWaitNS  = obs.NewHistogram("memo.wait_ns")    // time spent blocked
+	obsCompNS  = obs.NewHistogram("memo.compute_ns") // time inside fn
 )
 
 // entry is one key's slot: a Once guarding the computed value. done is
 // telemetry only — it lets an instrumented Do distinguish a settled hit from
-// a singleflight wait without perturbing the Once fast path.
+// a singleflight wait without perturbing the Once fast path. elem is the
+// entry's node in the recency list when an entry cap is set (nil otherwise).
 type entry[V any] struct {
 	once sync.Once
 	done atomic.Bool
 	val  V
 	err  error
+	elem *list.Element
 }
 
 // Memo memoizes a function from K to (V, error). The zero value is ready to
-// use. All methods are safe for concurrent use.
+// use and unbounded. All methods are safe for concurrent use.
 type Memo[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*entry[V]
+	mu  sync.Mutex
+	m   map[K]*entry[V]
+	cap int        // 0 = unbounded (the one-shot CLI default)
+	lru *list.List // recency order, front = most recent; element values are keys
+}
+
+// SetCap bounds the memo to at most n entries with deterministic
+// least-recently-used eviction: when an insert would exceed the cap, the
+// entry whose slot was touched longest ago is dropped. n <= 0 restores the
+// default unbounded behaviour. Long-lived processes (the experiment API
+// server) set a cap so the memo cannot grow without bound; one-shot CLI runs
+// never call it and keep the original grow-only semantics.
+//
+// SetCap is intended to be called before the memo is populated: entries that
+// were inserted while the memo was unbounded carry no recency information
+// and are never evicted (call Reset first to bound those too). Evicting an
+// entry whose computation is still in flight is safe — in-flight callers
+// complete against the orphaned entry; later callers recompute.
+func (c *Memo[K, V]) SetCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		c.cap = 0
+		return
+	}
+	c.cap = n
+	if c.lru == nil {
+		c.lru = list.New()
+	}
+	c.evictLocked()
 }
 
 // slot returns (creating if needed) the entry for k. The map lock is held
@@ -67,8 +100,55 @@ func (c *Memo[K, V]) slot(k K) *entry[V] {
 	if !ok {
 		e = &entry[V]{}
 		c.m[k] = e
+		if c.lru != nil {
+			e.elem = c.lru.PushFront(k)
+			c.evictLocked()
+		}
+	} else if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
 	}
 	return e
+}
+
+// evictLocked drops least-recently-used entries until the cap is respected.
+// Only entries with recency information (inserted while a cap was set) are
+// candidates; c.mu must be held.
+func (c *Memo[K, V]) evictLocked() {
+	if c.cap <= 0 || c.lru == nil {
+		return
+	}
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		k := back.Value.(K)
+		if e, ok := c.m[k]; ok && e.elem == back {
+			delete(c.m, k)
+		}
+		c.lru.Remove(back)
+		obsEvicts.Inc1()
+	}
+}
+
+// Forget drops k's entry, if any, so the next Do recomputes it. The
+// experiment drivers use it to un-memoize context-cancellation errors: a
+// request cancelled mid-computation must not poison the entry for every
+// later request with the same key (deterministic *compute* errors stay
+// memoized — retrying those cannot help). An in-flight computation completes
+// against the orphaned entry; its waiters still observe its result.
+func (c *Memo[K, V]) Forget(k K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		return
+	}
+	delete(c.m, k)
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+	}
+	obsForgets.Inc1()
 }
 
 // Do returns the memoized result for k, computing it with fn on first use.
@@ -128,6 +208,16 @@ func (c *Memo[K, V]) Get(k K, fn func() V) V {
 	return v
 }
 
+// Has reports whether k currently has an entry (settled or in-flight)
+// without touching its recency — a pure read, unlike Do/Get, which insert
+// and promote.
+func (c *Memo[K, V]) Has(k K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[k]
+	return ok
+}
+
 // Len returns the number of memoized keys (including in-flight ones).
 func (c *Memo[K, V]) Len() int {
 	c.mu.Lock()
@@ -135,10 +225,14 @@ func (c *Memo[K, V]) Len() int {
 	return len(c.m)
 }
 
-// Reset discards all memoized entries. In-flight computations complete
-// against the old entries; subsequent Do calls recompute.
+// Reset discards all memoized entries (the cap, if set, is kept). In-flight
+// computations complete against the old entries; subsequent Do calls
+// recompute.
 func (c *Memo[K, V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = nil
+	if c.lru != nil {
+		c.lru = list.New()
+	}
 }

@@ -110,6 +110,108 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestSetCapEvictsLRU locks the bounded-memo bugfix for long-lived server
+// processes: with a cap of 2, inserting a third key evicts the
+// least-recently-used one, and touching a key protects it.
+func TestSetCapEvictsLRU(t *testing.T) {
+	var m Memo[int, int]
+	m.SetCap(2)
+	var calls atomic.Int32
+	get := func(k int) int {
+		return m.Get(k, func() int { calls.Add(1); return k * 10 })
+	}
+	get(1)
+	get(2)
+	get(1) // touch 1: it is now most recent
+	get(3) // evicts 2 (LRU), not 1
+	if m.Len() != 2 {
+		t.Fatalf("Len %d, want 2", m.Len())
+	}
+	calls.Store(0)
+	get(1)
+	if calls.Load() != 0 {
+		t.Errorf("key 1 was evicted despite being recently used")
+	}
+	get(2)
+	if calls.Load() != 1 {
+		t.Errorf("key 2 survived eviction (calls=%d, want 1 recompute)", calls.Load())
+	}
+}
+
+// TestSetCapDeterministicEviction: the same access sequence always evicts
+// the same keys — the policy is pure LRU over slot() order.
+func TestSetCapDeterministicEviction(t *testing.T) {
+	survivors := func() string {
+		var m Memo[int, string]
+		m.SetCap(3)
+		seq := []int{1, 2, 3, 1, 4, 5, 2, 6}
+		for _, k := range seq {
+			m.Get(k, func() string { return "v" })
+		}
+		out := ""
+		for k := 1; k <= 6; k++ {
+			if m.Has(k) { // pure read: probing must not perturb recency
+				out += string(rune('0' + k))
+			}
+		}
+		return out
+	}
+	first := survivors()
+	for i := 0; i < 10; i++ {
+		if got := survivors(); got != first {
+			t.Fatalf("eviction nondeterministic: %q vs %q", got, first)
+		}
+	}
+	if first != "256" {
+		t.Errorf("survivors %q, want 2, 5, 6 (LRU over the access sequence)", first)
+	}
+}
+
+// TestUncappedUnchanged: without SetCap, the memo keeps its original
+// grow-only behaviour — the one-shot CLI path is untouched by the cap.
+func TestUncappedUnchanged(t *testing.T) {
+	var m Memo[int, int]
+	for k := 0; k < 1000; k++ {
+		m.Get(k, func() int { return k })
+	}
+	if m.Len() != 1000 {
+		t.Errorf("uncapped memo evicted entries: Len %d, want 1000", m.Len())
+	}
+}
+
+func TestForget(t *testing.T) {
+	var m Memo[string, int]
+	var calls atomic.Int32
+	f := func() (int, error) { calls.Add(1); return 7, nil }
+	m.Do("k", f)
+	m.Forget("k")
+	if m.Len() != 0 {
+		t.Errorf("Len %d after Forget", m.Len())
+	}
+	m.Do("k", f)
+	if calls.Load() != 2 {
+		t.Errorf("Forget did not force recompute (calls=%d)", calls.Load())
+	}
+	m.Forget("absent") // must be a no-op, not a panic
+}
+
+// TestForgetWithCap: forgetting a capped entry removes its recency node too,
+// so the cap accounting stays exact.
+func TestForgetWithCap(t *testing.T) {
+	var m Memo[int, int]
+	m.SetCap(2)
+	m.Get(1, func() int { return 1 })
+	m.Get(2, func() int { return 2 })
+	m.Forget(1)
+	m.Get(3, func() int { return 3 })
+	// 2 and 3 fit in the cap; nothing should have been evicted.
+	for _, k := range []int{2, 3} {
+		if !m.Has(k) {
+			t.Errorf("key %d missing after Forget(1)", k)
+		}
+	}
+}
+
 func TestZeroValueUsable(t *testing.T) {
 	var m Memo[struct{ A, B int }, string]
 	if got := m.Get(struct{ A, B int }{1, 2}, func() string { return "ok" }); got != "ok" {

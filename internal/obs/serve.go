@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -82,16 +84,59 @@ func sortedKeys[V any](m map[string]V) []string {
 	return names
 }
 
+// Server is a handle on a live telemetry endpoint started by Serve. It owns
+// the listener and the http.Server, so the endpoint can be drained instead
+// of dying mid-write with the process. (The old Serve returned only the
+// bound address and leaked both — a long-lived capsim process had no way to
+// stop serving.)
+type Server struct {
+	addr     string
+	srv      *http.Server
+	done     chan struct{} // closed when the accept loop exits
+	serveErr error         // set before done closes
+}
+
+// Addr returns the endpoint's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown gracefully drains the endpoint: the listener closes immediately,
+// in-flight responses finish (until ctx expires), and the accept loop's
+// terminal error — anything other than the expected http.ErrServerClosed —
+// is surfaced instead of being dropped in a goroutine. Safe to call more
+// than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+		if err == nil && s.serveErr != nil && !errors.Is(s.serveErr, http.ErrServerClosed) {
+			err = s.serveErr
+		}
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
 // Serve starts the live endpoint on addr (e.g. ":8417" or "127.0.0.1:0")
-// in a background goroutine and returns the bound address. Metric recording
-// is force-enabled — a live endpoint over frozen zeros would only mislead.
-func Serve(addr string) (string, error) {
+// in a background goroutine and returns a handle exposing the bound address
+// and a graceful Shutdown. Metric recording is force-enabled — a live
+// endpoint over frozen zeros would only mislead.
+func Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	SetEnabled(true)
-	srv := &http.Server{Handler: Handler()}
-	go srv.Serve(ln) //nolint:errcheck // endpoint dies with the process
-	return ln.Addr().String(), nil
+	s := &Server{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler()},
+		done: make(chan struct{}),
+	}
+	go func() {
+		s.serveErr = s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return s, nil
 }

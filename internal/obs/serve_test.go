@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeShutdown locks the leaked-listener bugfix: Serve returns a handle
+// whose Shutdown closes the listener (subsequent connections fail) and
+// returns cleanly, instead of leaking the server until process exit.
+func TestServeShutdown(t *testing.T) {
+	defer SetEnabled(false) // Serve force-enables metrics
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/metrics", s.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET before shutdown: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("endpoint still accepting connections after Shutdown")
+	}
+}
+
+// TestServeShutdownIdempotentish: a second Shutdown must not hang or panic.
+func TestServeShutdownTwice(t *testing.T) {
+	defer SetEnabled(false)
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"capsim/internal/experiments"
+	"capsim/internal/obs"
+	"capsim/internal/ooo"
+	"capsim/internal/tech"
+	"capsim/internal/trace"
+)
+
+// ResponseSchema versions the POST /v1/run response document. Bump on
+// breaking shape changes (same convention as obs.ManifestSchema).
+const ResponseSchema = "capsim/run-response/v1"
+
+// RunRequest is the POST /v1/run body. Every budget field is optional
+// (pointer); an absent field inherits the server's base configuration, so a
+// minimal request is just {"experiment":"fig10"}. The knobs mirror the
+// capsim CLI flags one-for-one — the server is the CLI's experiment loop
+// behind HTTP, nothing more.
+type RunRequest struct {
+	// Experiment is the registered experiment id (see GET /v1/experiments).
+	Experiment string `json:"experiment"`
+
+	// Budget overrides (CLI: -seed, -cache-refs, -cache-warm, -queue-instrs,
+	// -interval, -switch-penalty, -feature).
+	Seed          *uint64  `json:"seed,omitempty"`
+	CacheRefs     *int64   `json:"cache_refs,omitempty"`
+	CacheWarmRefs *int64   `json:"cache_warm,omitempty"`
+	QueueInstrs   *int64   `json:"queue_instrs,omitempty"`
+	IntervalInstr *int64   `json:"interval,omitempty"`
+	SwitchPenalty *int     `json:"switch_penalty,omitempty"`
+	Feature       *float64 `json:"feature,omitempty"`
+
+	// Parallel overrides the sweep worker count for this request only
+	// (context-scoped via sweep.WithWorkers; it never touches the process
+	// default). 0/absent inherits the server's setting. Render-neutral.
+	Parallel int `json:"parallel,omitempty"`
+
+	// Onepass and QueueEngine, when present, must match the process-wide
+	// settings the server was started with (trace materialization and the
+	// issue-queue engine are process globals; both are render-neutral, so
+	// there is nothing to gain from flipping them per request). A mismatch
+	// is rejected with 422 rather than silently ignored.
+	Onepass     *bool  `json:"onepass,omitempty"`
+	QueueEngine string `json:"queue_engine,omitempty"`
+
+	// TimeoutMS bounds this run's wall time; expiry cancels the sweep and
+	// returns 504. 0/absent inherits the server's run timeout, if any.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// NoCache forces a fresh execution, bypassing (and not populating) the
+	// response cache. For benchmarking the service itself.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// httpError carries an HTTP status through the run pipeline to the handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func unprocessable(format string, args ...any) *httpError {
+	return &httpError{http.StatusUnprocessableEntity, fmt.Sprintf(format, args...)}
+}
+
+// resolve merges the request over the server's base configuration and
+// validates the result. It returns the effective experiments.Config; request
+// shape errors surface as 400 and semantic conflicts (unknown experiment,
+// unrunnable budgets, process-global mismatches) as 422.
+func (r *RunRequest) resolve(base experiments.Config) (experiments.Config, error) {
+	if r.Experiment == "" {
+		return base, badRequest("missing required field %q", "experiment")
+	}
+	if _, err := experiments.Title(r.Experiment); err != nil {
+		return base, unprocessable("%v", err)
+	}
+
+	cfg := base
+	if r.Seed != nil {
+		cfg.Seed = *r.Seed
+	}
+	if r.CacheRefs != nil {
+		cfg.CacheRefs = *r.CacheRefs
+	}
+	if r.CacheWarmRefs != nil {
+		cfg.CacheWarmRefs = *r.CacheWarmRefs
+	}
+	if r.QueueInstrs != nil {
+		cfg.QueueInstrs = *r.QueueInstrs
+	}
+	if r.IntervalInstr != nil {
+		cfg.IntervalInstrs = *r.IntervalInstr
+	}
+	if r.SwitchPenalty != nil {
+		cfg.PenaltyCycles = *r.SwitchPenalty
+	}
+	if r.Feature != nil {
+		cfg.Feature = tech.FeatureSize(*r.Feature)
+		cfg.CacheParams.Feature = cfg.Feature
+	}
+	if r.Parallel < 0 {
+		return cfg, badRequest("parallel must be >= 0, got %d", r.Parallel)
+	}
+	if r.TimeoutMS < 0 {
+		return cfg, badRequest("timeout_ms must be >= 0, got %d", r.TimeoutMS)
+	}
+
+	// Process-global knobs: accepted only when they agree with the running
+	// process. Both are render-neutral (byte-identical output either way),
+	// so a mismatch means the client wants a performance shape this server
+	// instance cannot provide — tell it, don't pretend.
+	if r.Onepass != nil && *r.Onepass != trace.Enabled() {
+		return cfg, unprocessable(
+			"onepass=%v conflicts with this server's process-wide setting (onepass=%v); output is byte-identical either way — restart the server with -onepass=%v if you need that execution strategy",
+			*r.Onepass, trace.Enabled(), *r.Onepass)
+	}
+	if r.QueueEngine != "" {
+		eng, err := ooo.ParseEngine(r.QueueEngine)
+		if err != nil {
+			return cfg, badRequest("%v", err)
+		}
+		if eng != ooo.DefaultEngine() {
+			return cfg, unprocessable(
+				"queue_engine=%q conflicts with this server's process-wide engine (%q); output is byte-identical either way — restart the server with -queue-engine %s if you need that engine",
+				r.QueueEngine, ooo.DefaultEngine(), r.QueueEngine)
+		}
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return cfg, unprocessable("%v", err)
+	}
+	return cfg, nil
+}
+
+// cacheKey canonicalizes the render-determining inputs of a run. Everything
+// that changes the rendered bytes is in the key; everything render-neutral
+// (parallel, timeout, onepass, queue engine — byte-identity is the repo's
+// central contract) is deliberately out, so requests differing only in
+// execution strategy share one cached response.
+func cacheKey(id string, cfg experiments.Config) string {
+	return fmt.Sprintf("%s|seed=%d|warm=%d|refs=%d|qi=%d|iv=%d|pen=%d|f=%g|cp=%+v",
+		id, cfg.Seed, cfg.CacheWarmRefs, cfg.CacheRefs, cfg.QueueInstrs,
+		cfg.IntervalInstrs, cfg.PenaltyCycles, float64(cfg.Feature), cfg.CacheParams)
+}
+
+// ResolvedConfig echoes the effective run budgets in the response, so a
+// client can reproduce the run from the response alone (CLI flag per field).
+type ResolvedConfig struct {
+	Seed          uint64  `json:"seed"`
+	CacheRefs     int64   `json:"cache_refs"`
+	CacheWarmRefs int64   `json:"cache_warm"`
+	QueueInstrs   int64   `json:"queue_instrs"`
+	IntervalInstr int64   `json:"interval"`
+	SwitchPenalty int     `json:"switch_penalty"`
+	Feature       float64 `json:"feature"`
+}
+
+func resolvedConfig(cfg experiments.Config) ResolvedConfig {
+	return ResolvedConfig{
+		Seed:          cfg.Seed,
+		CacheRefs:     cfg.CacheRefs,
+		CacheWarmRefs: cfg.CacheWarmRefs,
+		QueueInstrs:   cfg.QueueInstrs,
+		IntervalInstr: cfg.IntervalInstrs,
+		SwitchPenalty: cfg.PenaltyCycles,
+		Feature:       float64(cfg.Feature),
+	}
+}
+
+// RunResponse is the POST /v1/run response body. Render carries the exact
+// bytes the CLI prints for the same configuration (the serve-smoke CI target
+// byte-compares the two), plus run-manifest-style metadata.
+type RunResponse struct {
+	Schema     string         `json:"schema"`
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title"`
+	Render     string         `json:"render"`
+	Cached     bool           `json:"cached"`
+	WallNS     int64          `json:"wall_ns"`
+	Generated  string         `json:"generated"`
+	Build      obs.BuildInfo  `json:"build"`
+	Parallel   int            `json:"parallel"`
+	Onepass    bool           `json:"onepass"`
+	QueueEng   string         `json:"queue_engine"`
+	Config     ResolvedConfig `json:"config"`
+}
+
+// ErrorResponse is the JSON error envelope for every non-2xx status.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}

@@ -1,0 +1,462 @@
+// Package server is the experiment-as-a-service layer: a small HTTP JSON API
+// that executes any registered experiment with per-request budgets and
+// streams back the byte-identical render the CLI would produce, plus
+// run-manifest metadata.
+//
+//	GET  /v1/experiments   registered experiment ids and titles
+//	POST /v1/run           execute one experiment (RunRequest -> RunResponse)
+//	GET  /healthz          liveness + admission/drain state
+//	/metrics, /debug/vars  the obs live-telemetry surface (obs.Handler)
+//
+// The service exists because an experiment run is heavy — a single POST can
+// occupy every core for seconds — so the server's job is mostly to say "not
+// yet" correctly:
+//
+//   - Admission control bounds in-flight runs (semaphore + queue-wait
+//     budget); an inadmissible request gets 429 and backs off.
+//   - Per-request deadlines and client disconnects cancel the underlying
+//     sweep via context — workers stop claiming simulation jobs.
+//   - Identical concurrent requests coalesce (singleflight) and completed
+//     responses are cached in a bounded LRU keyed by the render-determining
+//     configuration, so a dashboard refreshing fig10 costs one simulation.
+//   - Shutdown drains: new runs get 503, in-flight runs finish within the
+//     grace period, then the root context cancels whatever remains.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"capsim/internal/experiments"
+	"capsim/internal/memo"
+	"capsim/internal/obs"
+	"capsim/internal/ooo"
+	"capsim/internal/sweep"
+	"capsim/internal/trace"
+)
+
+// Telemetry (internal/obs): request-level counters and the in-flight gauge.
+var (
+	obsRequests  = obs.NewCounter("server.requests")
+	obsRunOK     = obs.NewCounter("server.run_ok")
+	obsRunErrors = obs.NewCounter("server.run_errors")
+	obsCacheHits = obs.NewCounter("server.cache_hits")
+	obsBusy      = obs.NewCounter("server.rejected_busy")
+	obsDraining  = obs.NewCounter("server.rejected_draining")
+	obsInFlight  = obs.NewGauge("server.in_flight")
+	obsLatency   = obs.NewHistogram("server.latency_ns")
+)
+
+// maxRequestBody bounds the POST /v1/run body; the schema is a handful of
+// scalars, so anything larger is a client bug, not a bigger experiment.
+const maxRequestBody = 1 << 16
+
+// Runner executes one experiment; it exists so tests can inject slow,
+// failing, or cancellation-observing stand-ins for experiments.RunCtx.
+type Runner func(ctx context.Context, id string, cfg experiments.Config) (experiments.Result, error)
+
+// Options configures a Server. The zero value is usable: defaults are
+// filled in by New.
+type Options struct {
+	// BaseConfig is the configuration a request's absent fields inherit.
+	// Zero value means experiments.DefaultConfig().
+	BaseConfig experiments.Config
+
+	// MaxInFlight bounds concurrently executing runs (default 2). One run
+	// can already saturate the machine via its sweep pool; stacking more
+	// trades latency for nothing.
+	MaxInFlight int
+
+	// QueueWait is how long an inadmissible request may wait for a slot
+	// before 429 (default 2s; negative means reject immediately).
+	QueueWait time.Duration
+
+	// RunTimeout bounds any single run's wall time (0 = unbounded). A
+	// request's timeout_ms can only tighten it, never extend it.
+	RunTimeout time.Duration
+
+	// CacheEntries bounds the response cache (default 64, <0 disables
+	// caching). The study-pass memos underneath are bounded separately by
+	// the caller (experiments.SetStudyCacheCap).
+	CacheEntries int
+
+	// MaxParallel caps a request's parallel override (default
+	// sweep.DefaultWorkers(); requests asking for more are clamped, not
+	// rejected — worker count is render-neutral).
+	MaxParallel int
+
+	// Runner executes experiments (default experiments.RunCtx). Tests
+	// inject doubles here.
+	Runner Runner
+}
+
+// Server is the experiment API service. Create with New, attach with
+// Handler (tests) or Start (production), stop with Shutdown.
+type Server struct {
+	opt      Options
+	adm      *admission
+	cache    *memo.Memo[string, *RunResponse]
+	mux      *http.ServeMux
+	build    obs.BuildInfo
+	draining atomic.Bool
+
+	// root is cancelled when the drain grace period expires, releasing any
+	// in-flight runs that outlive the drain.
+	root       context.Context
+	rootCancel context.CancelFunc
+
+	httpSrv  *http.Server
+	listener net.Listener
+	done     chan struct{} // closed when the accept loop exits
+	serveErr error         // set before done closes
+}
+
+// New builds a Server from opt, filling defaults for zero fields.
+func New(opt Options) *Server {
+	if opt.BaseConfig == (experiments.Config{}) {
+		opt.BaseConfig = experiments.DefaultConfig()
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 2
+	}
+	if opt.QueueWait == 0 {
+		opt.QueueWait = 2 * time.Second
+	}
+	if opt.CacheEntries == 0 {
+		opt.CacheEntries = 64
+	}
+	if opt.MaxParallel <= 0 {
+		opt.MaxParallel = sweep.DefaultWorkers()
+	}
+	if opt.Runner == nil {
+		opt.Runner = experiments.RunCtx
+	}
+	root, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:        opt,
+		adm:        newAdmission(opt.MaxInFlight, opt.QueueWait),
+		build:      obs.ReadBuildInfo(),
+		root:       root,
+		rootCancel: cancel,
+		done:       make(chan struct{}),
+	}
+	if opt.CacheEntries > 0 {
+		s.cache = &memo.Memo[string, *RunResponse]{}
+		s.cache.SetCap(opt.CacheEntries)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	obsMux := obs.Handler()
+	mux.Handle("/metrics", obsMux)
+	mux.Handle("/debug/vars", obsMux)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler (httptest attaches here).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (e.g. ":8418" or "127.0.0.1:0") and serves in a
+// background goroutine, returning the bound address. Call Shutdown to stop.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		s.serveErr = s.httpSrv.Serve(ln)
+		close(s.done)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the service: the draining flag flips (new POST /v1/run
+// gets 503 immediately), the listener closes, and in-flight runs are given
+// until ctx expires to finish — at which point the root context cancels and
+// their sweeps stop claiming jobs. Safe to call more than once; a Server
+// that was never Started just flips the flag and cancels.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	// Cancel in-flight runs a margin *before* the grace expires, so their
+	// error responses can still flush over connections the HTTP drain below
+	// is waiting on. Cancelling exactly at the deadline would race the
+	// drain itself: the run's 503 and Shutdown's give-up land at the same
+	// instant and the response is lost.
+	cancelCtx := ctx
+	if dl, ok := ctx.Deadline(); ok {
+		margin := time.Until(dl) / 5
+		if margin > time.Second {
+			margin = time.Second
+		}
+		if margin > 0 {
+			var cc context.CancelFunc
+			cancelCtx, cc = context.WithDeadline(context.Background(), dl.Add(-margin))
+			defer cc()
+		}
+	}
+	stop := context.AfterFunc(cancelCtx, s.rootCancel)
+	defer stop()
+	defer s.rootCancel()
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		// Grace expired with responses still in flight: the root cancel
+		// above is already stopping their sweeps; force-close the
+		// connections rather than hang.
+		s.rootCancel()
+		s.httpSrv.Close()
+	}
+	select {
+	case <-s.done:
+		if err == nil && s.serveErr != nil && !errors.Is(s.serveErr, http.ErrServerClosed) {
+			err = s.serveErr
+		}
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// InFlight reports currently executing runs (health/tests).
+func (s *Server) InFlight() int { return s.adm.inUse() }
+
+// handleList serves GET /v1/experiments.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	obsRequests.Inc1()
+	type item struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	ids := experiments.IDs()
+	out := struct {
+		Experiments []item `json:"experiments"`
+	}{Experiments: make([]item, 0, len(ids))}
+	for _, id := range ids {
+		title, _ := experiments.Title(id)
+		out.Experiments = append(out.Experiments, item{id, title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth serves GET /healthz: liveness plus admission and drain state.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := struct {
+		Status   string `json:"status"`
+		InFlight int    `json:"in_flight"`
+		MaxRuns  int    `json:"max_in_flight"`
+		Draining bool   `json:"draining"`
+	}{"ok", s.adm.inUse(), s.opt.MaxInFlight, s.draining.Load()}
+	code := http.StatusOK
+	if st.Draining {
+		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// handleRun serves POST /v1/run: decode, resolve, execute (via cache /
+// singleflight / admission), respond.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	obsRequests.Inc1()
+	t0 := time.Now()
+	defer func() { obsLatency.Observe(time.Since(t0).Nanoseconds()) }()
+
+	if s.draining.Load() {
+		obsDraining.Inc1()
+		writeError(w, http.StatusServiceUnavailable, "server is draining; retry against another instance")
+		return
+	}
+
+	var req RunRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	cfg, err := req.resolve(s.opt.BaseConfig)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			writeError(w, he.status, he.msg)
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+
+	sp := obs.StartSpan("server.run:"+req.Experiment, 0)
+	resp, err := s.execute(r.Context(), &req, cfg)
+	if err != nil {
+		obsRunErrors.Inc1()
+		status, msg := s.mapErr(err)
+		sp.End(obs.Arg{K: "err", V: msg}, obs.Arg{K: "status", V: status})
+		writeError(w, status, msg)
+		return
+	}
+	obsRunOK.Inc1()
+	sp.End(obs.Arg{K: "cached", V: resp.Cached})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs the resolved request through the cache + singleflight +
+// admission pipeline and returns the response.
+//
+// Admission is taken inside the singleflight compute function, so N
+// identical concurrent requests consume one run slot between them — they are
+// one simulation. Failed computes are never memoized (Forget on error): a
+// failure belongs to the request that suffered it (timeout, drain, transient
+// budget problem), not to the configuration.
+func (s *Server) execute(reqCtx context.Context, req *RunRequest, cfg experiments.Config) (*RunResponse, error) {
+	// Request context: client disconnect ∧ server drain-expiry ∧ deadline.
+	ctx, cancel := context.WithCancel(reqCtx)
+	defer cancel()
+	stop := context.AfterFunc(s.root, cancel)
+	defer stop()
+	timeout := s.opt.RunTimeout
+	if d := time.Duration(req.TimeoutMS) * time.Millisecond; d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	// Per-request worker override, context-scoped so concurrent requests
+	// with different parallel settings never race a process global.
+	workers := req.Parallel
+	if workers > s.opt.MaxParallel {
+		workers = s.opt.MaxParallel
+	}
+	if workers > 0 {
+		ctx = sweep.WithWorkers(ctx, workers)
+	}
+
+	if s.cache == nil || req.NoCache {
+		return s.compute(ctx, req.Experiment, cfg)
+	}
+
+	key := cacheKey(req.Experiment, cfg)
+	for {
+		computed := false
+		resp, err := s.cache.Do(key, func() (*RunResponse, error) {
+			computed = true
+			return s.compute(ctx, req.Experiment, cfg)
+		})
+		switch {
+		case err != nil:
+			// Never memoize failures; and if the failure was another
+			// request's cancellation, retry under our own live context.
+			s.cache.Forget(key)
+			if isCtxErr(err) && ctx.Err() == nil {
+				continue
+			}
+			return nil, err
+		case computed:
+			return resp, nil
+		default:
+			obsCacheHits.Inc1()
+			// Cached flag goes on a copy: the memoized response is shared
+			// across requests and must stay immutable.
+			c := *resp
+			c.Cached = true
+			return &c, nil
+		}
+	}
+}
+
+// compute performs one admitted experiment run and builds its response.
+func (s *Server) compute(ctx context.Context, id string, cfg experiments.Config) (*RunResponse, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	obsInFlight.Add(1)
+	defer obsInFlight.Add(-1)
+
+	t0 := time.Now()
+	res, err := s.opt.Runner(ctx, id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	title, _ := experiments.Title(id)
+	if title == "" {
+		title = res.Title
+	}
+	return &RunResponse{
+		Schema:     ResponseSchema,
+		Experiment: id,
+		Title:      title,
+		Render:     res.Render(),
+		WallNS:     time.Since(t0).Nanoseconds(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Build:      s.build,
+		Parallel:   s.effectiveWorkers(ctx),
+		Onepass:    trace.Enabled(),
+		QueueEng:   ooo.DefaultEngine().String(),
+		Config:     resolvedConfig(cfg),
+	}, nil
+}
+
+// effectiveWorkers reports the sweep worker count this run executed with.
+func (s *Server) effectiveWorkers(ctx context.Context) int {
+	if n := sweep.CtxWorkers(ctx); n > 0 {
+		return n
+	}
+	return sweep.DefaultWorkers()
+}
+
+// mapErr translates pipeline errors to HTTP status codes.
+func (s *Server) mapErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		obsBusy.Inc1()
+		return http.StatusTooManyRequests,
+			fmt.Sprintf("all %d run slots busy and queue-wait budget expired; back off and retry", s.opt.MaxInFlight)
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "run exceeded its deadline and was cancelled"
+	case errors.Is(err, context.Canceled):
+		if s.draining.Load() {
+			return http.StatusServiceUnavailable, "run cancelled: server drain grace period expired"
+		}
+		return http.StatusInternalServerError, "run cancelled"
+	default:
+		var he *httpError
+		if errors.As(err, &he) {
+			return he.status, he.msg
+		}
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Status: status})
+}

@@ -16,15 +16,27 @@
 //     finished — collection is by index, never by completion order;
 //   - jobs derive all randomness from their own arguments (never from shared
 //     mutable state), so scheduling cannot perturb any simulated outcome;
-//   - error selection is deterministic: after all jobs complete, the error
-//     of the lowest-indexed failing job is returned.
+//   - error selection is deterministic: the error of the lowest-indexed
+//     failing job is returned, even though the pool stops claiming
+//     higher-indexed jobs as soon as any error is observed (every job below
+//     the current minimum failing index still runs, so the reported error is
+//     exactly the one a full serial pass would report).
 //
 // Consequently Run(n, fn) returns byte-identical results for any worker
 // count, including 1 (the serial fallback used by `capsim -parallel 1` and
 // the determinism tests).
+//
+// Cancellation (see DESIGN.md "Experiment service & the cancellation
+// contract"): the *Ctx variants stop claiming new jobs once ctx is done and
+// return ctx.Err(). Cancellation is inherently racy — which jobs had already
+// been claimed depends on scheduling — so a cancelled run never returns
+// partial results, only the context's error. A run whose jobs all completed
+// before the cancellation was observed returns its full results, mirroring
+// the serial loop finishing its last iteration.
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +52,7 @@ import (
 var (
 	obsRuns       = obs.NewCounter("sweep.runs")          // Run/RunN invocations
 	obsJobs       = obs.NewCounter("sweep.jobs")          // jobs executed
+	obsSkipped    = obs.NewCounter("sweep.jobs_skipped")  // jobs skipped after an error or cancellation
 	obsBusyNS     = obs.NewCounter("sweep.busy_ns")       // per-worker time inside fn
 	obsJobNS      = obs.NewHistogram("sweep.job_ns")      // per-job wall time
 	obsQueueDepth = obs.NewGauge("sweep.queue_depth")     // unclaimed jobs of the latest pass
@@ -73,25 +86,80 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes jobs 0..n-1 with the default worker count and collects their
-// results by index. See RunN.
-func Run[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	return RunN(DefaultWorkers(), n, fn)
+// workersKey is the context key of a per-context worker-count override.
+type workersKey struct{}
+
+// WithWorkers returns a context whose RunCtx/EachCtx/GridCtx calls use n
+// workers instead of the process default. The experiment API server uses it
+// to honour a request's `parallel` field without touching the process-wide
+// SetDefaultWorkers (which would race between concurrent requests). n < 1
+// removes any override.
+func WithWorkers(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		n = 0
+	}
+	return context.WithValue(ctx, workersKey{}, n)
 }
 
-// RunN executes jobs 0..n-1 on at most `workers` concurrent goroutines.
-// results[i] always holds job i's value. The returned error is the
-// lowest-indexed job error, or nil: the parallel path runs every job and
-// then selects by index, while the serial path stops at the first error —
-// which, running in order, is by construction the lowest-indexed one. Both
-// paths therefore report the identical error for identical inputs.
-//
-// RunN may be nested: a job may itself call Run/RunN. Each invocation spawns
-// its own bounded goroutine set and holds no locks while jobs execute, so
-// nesting cannot deadlock; it merely oversubscribes the scheduler briefly.
+// CtxWorkers returns the WithWorkers override carried by ctx, or 0 when the
+// context has none (callers fall back to DefaultWorkers). The experiment API
+// server uses it to report the worker count a run actually executed with.
+func CtxWorkers(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return 0
+}
+
+// ctxWorkers resolves the effective worker count for ctx: the WithWorkers
+// override when present and positive, the process default otherwise.
+func ctxWorkers(ctx context.Context) int {
+	if n := CtxWorkers(ctx); n > 0 {
+		return n
+	}
+	return DefaultWorkers()
+}
+
+// Run executes jobs 0..n-1 with the default worker count and collects their
+// results by index. See RunNCtx.
+func Run[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunNCtx(context.Background(), DefaultWorkers(), n, fn)
+}
+
+// RunCtx is Run under a context: the worker count comes from WithWorkers (or
+// the process default), and the pool stops claiming jobs once ctx is done.
+func RunCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunNCtx(ctx, ctxWorkers(ctx), n, fn)
+}
+
+// RunN executes jobs 0..n-1 on at most `workers` concurrent goroutines. See
+// RunNCtx.
 func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunNCtx(context.Background(), workers, n, fn)
+}
+
+// RunNCtx executes jobs 0..n-1 on at most `workers` concurrent goroutines.
+// results[i] always holds job i's value. The returned error is the
+// lowest-indexed job error, or ctx.Err() if the run was cancelled before
+// every job completed, or nil.
+//
+// Error abort: the pool stops claiming jobs whose index is above the lowest
+// failing index observed so far, so an early failure does not burn CPU on
+// the rest of the grid. Jobs *below* that index still run — one of them
+// could fail with a lower index — which is what keeps the selected error
+// identical to the serial path's (the serial loop stops at its first error,
+// by construction the lowest-indexed one).
+//
+// RunNCtx may be nested: a job may itself call Run/RunCtx. Each invocation
+// spawns its own bounded goroutine set and holds no locks while jobs
+// execute, so nesting cannot deadlock; it merely oversubscribes the
+// scheduler briefly.
+func RunNCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	results := make([]T, n)
 	if workers < 1 {
@@ -108,6 +176,9 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		if observing() {
 			tid := obs.WorkerTIDs(1, "sweep-serial")
 			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				sp := obs.StartSpan("sweep.job", tid)
 				t0 := time.Now()
 				v, err := fn(i)
@@ -124,6 +195,9 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			return results, nil
 		}
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -135,7 +209,12 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 	obsWorkers.Set(int64(workers))
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, executed atomic.Int64
+	// minErr is the lowest failing job index observed so far; n means "no
+	// error yet". Workers skip any claim above it (the abort), but still run
+	// claims below it (the determinism guarantee).
+	var minErr atomic.Int64
+	minErr.Store(int64(n))
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	// Reserve a block of fresh trace thread ids for this pass so nested
@@ -147,9 +226,18 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if int64(i) > minErr.Load() {
+					// A lower-indexed job already failed; this one's result
+					// could never be returned. Skip without running.
+					obsSkipped.Inc(w)
+					continue
 				}
 				if watch {
 					// Depth is approximate by design: it samples the shared
@@ -169,15 +257,28 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					obsJobs.Inc(w)
 					obsBusyNS.Add(w, ns)
 					obsJobNS.Observe(ns)
-					continue
+				} else {
+					results[i], errs[i] = fn(i)
 				}
-				results[i], errs[i] = fn(i)
+				executed.Add(1)
+				if errs[i] != nil {
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if idx := minErr.Load(); idx < int64(n) {
+		return nil, errs[idx]
+	}
+	if executed.Load() < int64(n) {
+		// Gaps without a recorded job error can only come from cancellation.
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
@@ -186,7 +287,12 @@ func RunN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // Each is Run for jobs without results.
 func Each(n int, fn func(i int) error) error {
-	_, err := Run(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
+	return EachCtx(context.Background(), n, fn)
+}
+
+// EachCtx is RunCtx for jobs without results.
+func EachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	_, err := RunCtx(ctx, n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
 	return err
 }
 
@@ -194,7 +300,12 @@ func Each(n int, fn func(i int) error) error {
 // product, the shape of every figure in the paper. Job (o, i) runs at flat
 // index o*inner+i; results are returned as a dense [outer][inner] matrix.
 func Grid[T any](outer, inner int, fn func(o, i int) (T, error)) ([][]T, error) {
-	flat, err := Run(outer*inner, func(j int) (T, error) {
+	return GridCtx(context.Background(), outer, inner, fn)
+}
+
+// GridCtx is Grid under a context.
+func GridCtx[T any](ctx context.Context, outer, inner int, fn func(o, i int) (T, error)) ([][]T, error) {
+	flat, err := RunCtx(ctx, outer*inner, func(j int) (T, error) {
 		return fn(j/inner, j%inner)
 	})
 	if err != nil {

@@ -1,12 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCollectsByIndex(t *testing.T) {
@@ -150,6 +152,165 @@ func TestEach(t *testing.T) {
 	}
 	if len(seen) != 32 {
 		t.Errorf("ran %d jobs, want 32", len(seen))
+	}
+}
+
+// TestRunAbortsAfterError locks the early-abort bugfix: once a job fails, the
+// pool must stop claiming higher-indexed jobs instead of burning CPU on the
+// whole remaining grid. Job 0 fails immediately while every other job sleeps
+// briefly, so by the time the sleepers finish their first claim the abort is
+// visible and all later claims are skipped.
+func TestRunAbortsAfterError(t *testing.T) {
+	const n = 1000
+	var ran atomic.Int64
+	_, err := RunN(4, n, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, fmt.Errorf("job 0 failed")
+		}
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 0 failed" {
+		t.Fatalf("error %v, want job 0's", err)
+	}
+	if got := ran.Load(); got >= n/2 {
+		t.Errorf("%d of %d jobs ran after an immediate failure; abort did not take", got, n)
+	}
+}
+
+// TestRunErrorDeterministicUnderAbort locks the determinism half of the
+// early-abort contract: even though the pool skips jobs above the lowest
+// observed failing index, the *returned* error must always be the
+// lowest-indexed one — jobs below the current minimum keep running precisely
+// so a lower-indexed failure can still surface.
+func TestRunErrorDeterministicUnderAbort(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		for _, workers := range []int{2, 4, 8} {
+			_, err := RunN(workers, 64, func(i int) (int, error) {
+				switch i {
+				case 3, 7, 40:
+					return 0, fmt.Errorf("job %d failed", i)
+				}
+				return i, nil
+			})
+			if err == nil || err.Error() != "job 3 failed" {
+				t.Fatalf("trial %d workers %d: got %v, want job 3's error", trial, workers, err)
+			}
+		}
+	}
+}
+
+// TestRunCtxCancelStopsClaiming proves a cancelled context stops the pool
+// from claiming new jobs: cancel fires after the first few jobs start, and
+// far fewer than n jobs may run.
+func TestRunCtxCancelStopsClaiming(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	started := make(chan struct{}, n)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := RunNCtx(ctx, 4, n, func(i int) (int, error) {
+		ran.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n/2 {
+		t.Errorf("%d of %d jobs ran after cancellation", got, n)
+	}
+}
+
+// TestRunCtxSerialCancel covers the workers=1 path: the serial loop must
+// check the context between jobs.
+func TestRunCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	_, err := RunNCtx(ctx, 1, 100, func(i int) (int, error) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Errorf("serial path ran %d jobs after cancel at job 2, want 3", ran)
+	}
+}
+
+// TestRunCtxPreCancelled: a context that is already done runs nothing.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := RunNCtx(ctx, 4, 10, func(i int) (int, error) { ran.Add(1); return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d jobs ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestRunCtxCompletedRunIgnoresLateCancel: if every job finished, the run
+// returns its results even when the context is cancelled afterwards —
+// mirroring a serial loop that completes its final iteration.
+func TestRunCtxCompletedRunIgnoresLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	got, err := RunNCtx(ctx, 4, 50, func(i int) (int, error) { return i * 2, nil })
+	cancel()
+	if err != nil {
+		t.Fatalf("completed run reported %v", err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("result[%d]=%d", i, v)
+		}
+	}
+}
+
+// TestWithWorkers checks the per-context worker override used by the API
+// server's `parallel` request field.
+func TestWithWorkers(t *testing.T) {
+	SetDefaultWorkers(8)
+	defer SetDefaultWorkers(0)
+	ctx := WithWorkers(context.Background(), 2)
+	var cur, peak atomic.Int32
+	_, err := RunCtx(ctx, 64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("observed %d concurrent jobs, override cap 2", p)
+	}
+	if ctxWorkers(context.Background()) != 8 {
+		t.Errorf("plain context did not fall back to the process default")
+	}
+	if ctxWorkers(WithWorkers(context.Background(), -3)) != 8 {
+		t.Errorf("negative override did not fall back to the process default")
 	}
 }
 

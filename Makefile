@@ -6,11 +6,16 @@
 # regenerates BENCH_queue.json (scan vs event issue engine x onepass on the
 # queue study); `make bench-obs` regenerates BENCH_obs.json (obs-disabled vs
 # obs-enabled overhead on the fig7/fig10 profiling passes); `make
-# bench-compare` prints the old-vs-new profiling micro-benchmark deltas.
+# bench-joint` regenerates BENCH_joint.json (independent per-cell machines
+# vs the joint cache x queue kernel on the Figure 5 ablation, plus the
+# compressed trace-tier ratio); `make bench-compare` prints the old-vs-new
+# profiling micro-benchmark deltas. `make bench` refuses to overwrite a
+# record whose recorded command no longer matches the built flags
+# (scripts/bench_guard.sh); pass FORCE=1 to regenerate intentionally.
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke serve-smoke clean
+.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke serve-smoke clean
 
 all: build
 
@@ -43,7 +48,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke serve-smoke
+ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke serve-smoke
 
 # serve-smoke boots the experiment API server (-serve-api) on an ephemeral
 # port and proves the service contract end to end: POST /v1/run renders
@@ -60,6 +65,9 @@ serve-smoke:
 # single-core box the two legs tie — the pool adds no overhead — while the
 # parallel leg still exercises the full worker machinery).
 bench:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_sweep.json \
+		"capsim -experiment all -parallel 1 -bench-json /tmp/capsim_bench_serial.json" \
+		"capsim -experiment all -parallel 8 -bench-json /tmp/capsim_bench_parallel.json"
 	$(GO) run ./cmd/capsim -experiment all -parallel 1 -bench-json /tmp/capsim_bench_serial.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment all -parallel 8 -bench-json /tmp/capsim_bench_parallel.json >/dev/null
 	{ printf '[\n'; cat /tmp/capsim_bench_serial.json; printf ',\n'; \
@@ -169,6 +177,35 @@ bench-obs-smoke:
 	@test -s /tmp/capsim_obs_smoke.json || { echo "manifest missing"; exit 1; }
 	@echo "bench-obs smoke ok (render byte-identical with obs+assert+trace+manifest on)"
 
+# bench-joint writes BENCH_joint.json: the Figure 5 joint cache x queue
+# ablation (ablation-combined) measured with -onepass=false (one private
+# CombinedMachine per grid cell, fanned across the pool at -parallel 1)
+# and -onepass=true (one MultiCombined joint-kernel pass per application
+# over the shared compressed trace), both serial so the comparison is
+# pure compute. Compare total_wall_ns between the elements for the
+# joint-kernel speedup; the onepass element's trace_ratio field records
+# compressed chunk bytes over their raw struct equivalent (the trace-tier
+# shrink), and trace_bytes the resident store ceiling.
+bench-joint:
+	$(GO) run ./cmd/capsim -experiment ablation-combined -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_joint_legacy.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment ablation-combined -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_joint_onepass.json >/dev/null
+	{ printf '[\n'; cat /tmp/capsim_bench_joint_legacy.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_joint_onepass.json; printf ']\n'; } > BENCH_joint.json
+	@echo "wrote BENCH_joint.json"
+
+# bench-joint-smoke is the ci-gated variant: a tiny-budget ablation-combined
+# run through the joint kernel (-onepass) and through independent per-cell
+# machines, asserting byte-identical renders (the timing footer is stripped;
+# it is the only line allowed to differ).
+bench-joint-smoke:
+	@$(GO) run ./cmd/capsim -experiment ablation-combined -parallel 2 -queue-instrs 20000 -onepass=true \
+		| grep -v '^(ablation-combined in ' > /tmp/capsim_joint_one.txt
+	@$(GO) run ./cmd/capsim -experiment ablation-combined -parallel 2 -queue-instrs 20000 -onepass=false \
+		| grep -v '^(ablation-combined in ' > /tmp/capsim_joint_leg.txt
+	@cmp /tmp/capsim_joint_one.txt /tmp/capsim_joint_leg.txt || \
+		{ echo "joint kernel rendered differently from independent machines"; exit 1; }
+	@echo "bench-joint smoke ok (joint kernel byte-identical to independent machines)"
+
 clean:
 	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
 	  /tmp/capsim_bench_obs_f7_off.json /tmp/capsim_bench_obs_f7_on.json \
@@ -180,5 +217,7 @@ clean:
 	  /tmp/capsim_bench_compare.txt \
 	  /tmp/capsim_bench_q_scan_legacy.json /tmp/capsim_bench_q_scan_onepass.json \
 	  /tmp/capsim_bench_q_event_legacy.json /tmp/capsim_bench_q_event_onepass.json \
-	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt
+	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt \
+	  /tmp/capsim_bench_joint_legacy.json /tmp/capsim_bench_joint_onepass.json \
+	  /tmp/capsim_joint_one.txt /tmp/capsim_joint_leg.txt
 	rm -rf /tmp/capsim_serve_smoke

@@ -53,6 +53,15 @@ import (
 	"capsim/internal/trace"
 )
 
+// benchCommand is the invocation recorded in -bench-json reports. argv[0]
+// is normalized to the bare binary name so records are comparable across
+// `go run` builds, whose temporary binary path changes with every compile
+// — `make bench` diffs this field against the flags it is about to run to
+// refuse silently overwriting a record with different semantics.
+func benchCommand() string {
+	return strings.Join(append([]string{"capsim"}, os.Args[1:]...), " ")
+}
+
 // benchRecord is one experiment's measured cost for -bench-json.
 type benchRecord struct {
 	ID     string `json:"id"`
@@ -82,6 +91,14 @@ type benchReport struct {
 	QueueInstrs int64         `json:"queue_instrs"`
 	Experiments []benchRecord `json:"experiments"`
 	TotalWallNS int64         `json:"total_wall_ns"`
+	// Trace-tier footprint at the end of the run: live (compressed) bytes
+	// across the materialized stores, what the same contents would occupy
+	// in the flat pre-compression layout, and their ratio (0 when no store
+	// was materialized, e.g. -onepass=false).
+	TraceBudget   int64   `json:"trace_budget"`
+	TraceBytes    int64   `json:"trace_bytes"`
+	TraceRawBytes int64   `json:"trace_raw_bytes"`
+	TraceRatio    float64 `json:"trace_ratio"`
 }
 
 // main is a thin shell around run: all error paths return through run's
@@ -124,6 +141,7 @@ func run() error {
 		feature     = flag.Float64("feature", 0.18, "feature size in microns (0.25, 0.18, 0.12)")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = serial; output is identical at any setting)")
 		onepass     = flag.Bool("onepass", true, "profile over the shared materialized trace in one pass (false = legacy per-configuration streams; output is identical either way)")
+		traceBudget = flag.Int64("trace-budget", 0, "materialized-trace byte ceiling; cold stores evict and regenerate on demand (0 = unbounded; output is identical at any setting)")
 		queueEngine = flag.String("queue-engine", "event", "issue-queue engine: 'event' (event-driven wakeup/select) or 'scan' (per-cycle window scan); output is identical either way")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
@@ -154,6 +172,7 @@ func run() error {
 
 	sweep.SetDefaultWorkers(*parallel)
 	trace.SetEnabled(*onepass)
+	trace.SetBudget(*traceBudget)
 	eng, err := ooo.ParseEngine(*queueEngine)
 	if err != nil {
 		return usageErr("%v", err)
@@ -244,7 +263,7 @@ func run() error {
 
 	report := benchReport{
 		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Command:     strings.Join(os.Args, " "),
+		Command:     benchCommand(),
 		Parallel:    sweep.DefaultWorkers(),
 		Onepass:     *onepass,
 		QueueEngine: eng.String(),
@@ -307,6 +326,12 @@ func run() error {
 	}
 
 	if *benchJSON != "" {
+		report.TraceBudget = trace.Budget()
+		report.TraceBytes = trace.TotalBytes()
+		report.TraceRawBytes = trace.TotalRawBytes()
+		if report.TraceRawBytes > 0 {
+			report.TraceRatio = float64(report.TraceBytes) / float64(report.TraceRawBytes)
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err

@@ -191,12 +191,44 @@ func (m *MultiHierarchy) Access(set int, tag uint64, write bool) {
 	}
 
 	m.slowAccs++
-	m.accessSlow(set, tag, write)
+	m.accessSlow(set, tag, write, nil)
+}
+
+// AccessLevels is Access that also reports where the reference was serviced
+// at every boundary position: levels[k-1] receives exactly what
+// Hierarchy.Access at boundary k would have returned for this reference
+// (L1Hit, L2Hit, or Miss). levels must have at least MaxBoundary elements.
+// The joint cache×queue kernel uses this to derive every configuration's
+// load latency from its own boundary's hierarchy state in the one shared
+// pass; the stack-distance-zero fast path is an L1 hit at every boundary by
+// the MRU argument above, so it fills the slice without probing.
+func (m *MultiHierarchy) AccessLevels(set int, tag uint64, write bool, levels []Level) {
+	m.stamp++
+	m.refs++
+	if write {
+		m.writes++
+	}
+
+	if m.lastValid[set] && m.lastTag[set] == tag {
+		m.pendStamp[set] = m.stamp
+		if write {
+			m.pendDirty[set] = true
+		}
+		m.fastHits++
+		for kb := 0; kb < m.maxB; kb++ {
+			levels[kb] = L1Hit
+		}
+		return
+	}
+
+	m.slowAccs++
+	m.accessSlow(set, tag, write, levels)
 }
 
 // accessSlow is the lockstep replay path: one exact Hierarchy.Access
-// replication per boundary position.
-func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool) {
+// replication per boundary position. When levels is non-nil it receives the
+// per-boundary service level (AccessLevels).
+func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Level) {
 	if ps := m.pendStamp[set]; ps != 0 {
 		// Apply the deferred fast-path effects: the last repeat reference
 		// left the resident block with this stamp (and dirty OR) at its
@@ -232,8 +264,10 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool) {
 		}
 
 		var final int
+		lvl := Miss
 		switch {
 		case hit >= 0 && hit < l1w: // L1 hit
+			lvl = L1Hit
 			stamps[hit] = m.stamp
 			if write {
 				flags[hit] |= mhDirty
@@ -241,6 +275,7 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool) {
 			final = hit
 
 		case hit >= 0: // L2 hit: exclusive swap with the L1 victim
+			lvl = L2Hit
 			st.L1Misses++
 			st.Swaps++
 			victim := mhLRU(tags, stamps, flags, 0, l1w)
@@ -275,6 +310,9 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool) {
 				flags[victim] |= mhDirty
 			}
 			final = victim
+		}
+		if levels != nil {
+			levels[kb] = lvl
 		}
 		m.lastWay[set*m.maxB+kb] = int32(final)
 	}

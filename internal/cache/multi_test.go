@@ -234,3 +234,59 @@ func TestNewMultiRejects(t *testing.T) {
 		t.Errorf("Stats length %d, want 5", got)
 	}
 }
+
+// TestAccessLevelsDifferential checks the joint-kernel classification
+// contract: AccessLevels reports, per boundary, exactly the Level that an
+// independent Hierarchy.Access would return for the same reference — through
+// both the fast path (spatial runs) and the slow lockstep path — while
+// keeping the stats bit-identical to plain Access.
+func TestAccessLevelsDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		p         Params
+		maxB      int
+		footprint uint64
+	}{
+		{"paper/maxB=8", PaperParams(), 8, 1 << 17},
+		{"nonpow2/maxB=4", nonPow2Params(), 4, 1 << 14},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mh, err := NewMulti(tc.p, tc.maxB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := NewMulti(tc.p, tc.maxB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracles := make([]*Hierarchy, tc.maxB+1)
+			for k := 1; k <= tc.maxB; k++ {
+				oracles[k] = MustNew(tc.p, k)
+			}
+			gen := newSynthStream(42, tc.footprint)
+			levels := make([]Level, tc.maxB)
+			n := 20000
+			if testing.Short() {
+				n = 4000
+			}
+			for i := 0; i < n; i++ {
+				addr, write := gen.next()
+				set, tag := mh.ix.index(addr)
+				mh.AccessLevels(set, tag, write, levels)
+				plain.Access(set, tag, write)
+				for k := 1; k <= tc.maxB; k++ {
+					if want := oracles[k].Access(addr, write); levels[k-1] != want {
+						t.Fatalf("ref %d boundary %d: level %v, oracle %v", i, k, levels[k-1], want)
+					}
+				}
+			}
+			for k := 1; k <= tc.maxB; k++ {
+				if mh.BoundaryStats(k) != plain.BoundaryStats(k) {
+					t.Fatalf("boundary %d: AccessLevels stats %+v != Access stats %+v",
+						k, mh.BoundaryStats(k), plain.BoundaryStats(k))
+				}
+			}
+		})
+	}
+}

@@ -181,3 +181,76 @@ func TestRunWithLoadsRate(t *testing.T) {
 		t.Errorf("refs/instr %v, want ~%v", got, b.Mem.RefsPerInstr)
 	}
 }
+
+// TestCombinedSetConfigTransitions is the table-driven transition-cost
+// contract for the joint machine: a switch's reported cost is the queue
+// drain (only when shrinking below occupancy) plus the clock-switch penalty,
+// and a combined queue-resize + boundary-move pays both in ONE switch — not
+// two clock penalties.
+func TestCombinedSetConfigTransitions(t *testing.T) {
+	cases := []struct {
+		name      string
+		from, to  CombinedConfig
+		wantDrain bool // expect drain stalls on top of the clock penalty
+	}{
+		{"same-config no-op", CombinedConfig{64, 2}, CombinedConfig{64, 2}, false},
+		{"queue grow only", CombinedConfig{16, 2}, CombinedConfig{64, 2}, false},
+		{"queue shrink only", CombinedConfig{128, 2}, CombinedConfig{16, 2}, true},
+		{"boundary move only", CombinedConfig{64, 1}, CombinedConfig{64, 8}, false},
+		{"shrink + boundary move", CombinedConfig{128, 1}, CombinedConfig{16, 8}, true},
+		{"grow + boundary move", CombinedConfig{16, 8}, CombinedConfig{128, 1}, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := combined(t, "gcc", tc.from)
+			m.RunInterval(5000) // fill the window so shrinks have entries to drain
+			id, err := m.configID(tc.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switchesBefore := m.Clock().Switches()
+			cost, err := m.SetConfig(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.from == tc.to {
+				if cost != 0 {
+					t.Fatalf("no-op switch cost %d", cost)
+				}
+				if m.Clock().Switches() != switchesBefore {
+					t.Fatal("no-op switch touched the clock")
+				}
+				return
+			}
+			pen := int64(m.Clock().PenaltyCycles())
+			if tc.wantDrain {
+				if cost <= pen {
+					t.Errorf("cost %d, want drain stalls beyond the %d-cycle penalty", cost, pen)
+				}
+			} else if cost != pen {
+				t.Errorf("cost %d, want exactly the %d-cycle clock penalty", cost, pen)
+			}
+			if got := m.Clock().Switches() - switchesBefore; got != 1 {
+				t.Errorf("%d clock switches, want 1", got)
+			}
+			cc, err := m.Decode(m.Current().ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cc != tc.to {
+				t.Errorf("landed on %+v, want %+v", cc, tc.to)
+			}
+			if m.Hierarchy().Boundary() != tc.to.Boundary {
+				t.Errorf("hierarchy boundary %d, want %d", m.Hierarchy().Boundary(), tc.to.Boundary)
+			}
+			if m.core.Config().WindowSize != tc.to.QueueEntries {
+				t.Errorf("window %d, want %d", m.core.Config().WindowSize, tc.to.QueueEntries)
+			}
+			// The machine must still run correctly after the transition.
+			if s := m.RunInterval(2000); s.TPI <= 0 {
+				t.Errorf("post-switch interval TPI %v", s.TPI)
+			}
+		})
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"capsim/internal/cache"
+	"capsim/internal/obs"
+	"capsim/internal/ooo"
+	"capsim/internal/palacharla"
+	"capsim/internal/sweep"
+	"capsim/internal/tech"
+	"capsim/internal/trace"
+	"capsim/internal/workload"
+)
+
+// MultiCombined is the joint one-pass engine for the Figure 5 processor: it
+// evaluates EVERY requested (cache boundary × queue size) configuration of
+// CombinedMachine in a single lockstep pass over one shared trace stream,
+// composing the two existing one-pass kernels.
+//
+// The decomposition rests on two facts about CombinedMachine:
+//
+//   - Load PLACEMENT is configuration-independent. Loads are attached to
+//     dispatched instructions by a deterministic fractional accumulator at
+//     the profile's refs-per-instruction rate, so the i-th load of every
+//     configuration sits at the same stream position and consumes the same
+//     reference r_i — whatever the queue size or boundary.
+//
+//   - Cache state is BOUNDARY-shared. A cell's hierarchy sees exactly the
+//     load reference sequence r_0, r_1, ... in order, so two cells with the
+//     same boundary have bit-identical hierarchy states at every load index;
+//     the hierarchy column of the cross product collapses to one row per
+//     boundary.
+//
+// The kernel therefore keeps one cache.MultiHierarchy (all boundary rows in
+// lockstep, each reference decoded once via the shared trace tier) and one
+// ooo.MultiCore (all queue columns over one shared instruction buffer). Each
+// cell's load latencies come from ITS OWN boundary row's classification of
+// r_i — served from a per-row class sequence that is extended on demand as
+// the fastest cell reaches new load indices and trimmed below the slowest —
+// while the cell's clock remains the joint worst case of its queue and cache
+// timings. Per-cell results are bit-identical to independent
+// CombinedMachines (TestProfileCombinedOnepass): same Stats, same memLat
+// sequence, same float operation order in the TPI arithmetic.
+type MultiCombined struct {
+	points  []CombinedConfig
+	periods []float64 // per cell: worst case of queue and cache cycle times
+	rpi     float64
+
+	mc      *ooo.MultiCore
+	mh      *cache.MultiHierarchy
+	dec     *trace.DecodedCursor
+	istream workload.InstrSource
+
+	// Shared load-classification state. rows lists the boundary indices
+	// (kb = k-1) that at least one cell uses; classes is index-parallel to
+	// rows and holds each row's service level per load, for absolute load
+	// indices [base, base+len). levels is the AccessLevels scratch.
+	rows    []int
+	classes [][]uint8
+	base    int64
+	levels  []cache.Level
+
+	loadIdx []int64 // per cell: absolute index of its next load
+	memLat  []func(write bool) int64
+
+	instrs []int64
+	timeNS []float64
+}
+
+// NewMultiCombined builds the joint kernel for one application over the
+// given configuration points. sizes is the machine's queue-size table (the
+// legal values for points' QueueEntries), exactly as passed to
+// NewCombinedMachine; maxBoundary bounds the boundary rows.
+func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Params, maxBoundary int, points []CombinedConfig, f tech.FeatureSize) (*MultiCombined, error) {
+	if b.Mem == nil {
+		return nil, fmt.Errorf("core: %s has no memory profile", b.Name)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: no configuration points")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := p.Boundaries()
+	if maxBoundary < lo || maxBoundary > hi {
+		return nil, fmt.Errorf("core: max boundary %d outside [%d,%d]", maxBoundary, lo, hi)
+	}
+	m := &MultiCombined{
+		points:  points,
+		periods: make([]float64, len(points)),
+		rpi:     b.Mem.RefsPerInstr,
+		levels:  make([]cache.Level, maxBoundary),
+		loadIdx: make([]int64, len(points)),
+		memLat:  make([]func(write bool) int64, len(points)),
+		instrs:  make([]int64, len(points)),
+		timeNS:  make([]float64, len(points)),
+	}
+
+	mh, err := cache.NewMulti(p, maxBoundary)
+	if err != nil {
+		return nil, err
+	}
+	m.mh = mh
+	m.dec = trace.DecodedFor(trace.RefsFor(b, seed), trace.Geometry{BlockBytes: p.BlockBytes, Sets: p.Sets()}).Cursor()
+	m.istream = trace.InstrSourceFor(b, seed)
+
+	// Map each used boundary to a class-row slot: the kernel only records
+	// classification sequences for rows some cell actually reads.
+	slotOf := make([]int, maxBoundary) // kb -> slot+1, 0 = unused
+	for _, cc := range points {
+		if cc.Boundary < 1 || cc.Boundary > maxBoundary {
+			return nil, fmt.Errorf("core: boundary %d outside [1,%d]", cc.Boundary, maxBoundary)
+		}
+		if slotOf[cc.Boundary-1] == 0 {
+			m.rows = append(m.rows, cc.Boundary-1)
+			slotOf[cc.Boundary-1] = len(m.rows)
+		}
+	}
+	m.classes = make([][]uint8, len(m.rows))
+
+	cfgs := make([]ooo.Config, len(points))
+	for i, cc := range points {
+		ok := false
+		for _, w := range sizes {
+			if w == cc.QueueEntries {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: queue size %d not in table %v", cc.QueueEntries, sizes)
+		}
+		cfgs[i] = ooo.PaperConfig(cc.QueueEntries)
+	}
+	if m.mc, err = ooo.NewMultiCore(cfgs); err != nil {
+		return nil, err
+	}
+
+	// Per-cell clocks and load-latency closures. The period is the worst
+	// case of the queue's wakeup+select time and the cache timing, exactly
+	// as NewCombinedMachine computes it; the latency switch mirrors
+	// CombinedMachine.RunInterval's memLat term for term, reading this
+	// cell's boundary row at this cell's own load index.
+	tp := tech.ForFeature(f)
+	for i, cc := range points {
+		t := cache.TimingFor(p, cc.Boundary)
+		cyc := palacharla.CycleTime(palacharla.Queue{Entries: cc.QueueEntries, IssueWidth: 8}, tp)
+		if t.CycleNS > cyc {
+			cyc = t.CycleNS
+		}
+		m.periods[i] = cyc
+		slot := slotOf[cc.Boundary-1] - 1
+		l2 := int64(t.L2HitCycles)
+		mem := int64(t.L2HitCycles + t.MemCycles)
+		i := i
+		m.memLat[i] = func(write bool) int64 {
+			idx := m.loadIdx[i]
+			m.loadIdx[i]++
+			if idx-m.base >= int64(len(m.classes[slot])) {
+				m.extend(idx)
+			}
+			switch cache.Level(m.classes[slot][idx-m.base]) {
+			case cache.L1Hit:
+				return 0
+			case cache.L2Hit:
+				return l2
+			default:
+				return mem
+			}
+		}
+	}
+	return m, nil
+}
+
+// extend classifies loads through the shared hierarchy rows until absolute
+// load index idx is covered. References decode once (shared decoded stream)
+// and every boundary row advances in lockstep, so row state at load i equals
+// an independent Hierarchy's after loads r_0..r_{i-1}.
+func (m *MultiCombined) extend(idx int64) {
+	for m.base+int64(len(m.classes[0])) <= idx {
+		set, tag, write := m.dec.NextDecoded()
+		m.mh.AccessLevels(int(set), tag, write, m.levels)
+		for s, kb := range m.rows {
+			m.classes[s] = append(m.classes[s], uint8(m.levels[kb]))
+		}
+	}
+}
+
+// trim recycles the classification prefix below the slowest cell. Peak
+// buffered classification is bounded by the cells' load-index skew — window
+// occupancy differences plus one refill batch — independent of run length.
+func (m *MultiCombined) trim() {
+	min := m.loadIdx[0]
+	for _, v := range m.loadIdx[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	drop := int(min - m.base)
+	if drop <= 0 {
+		return
+	}
+	for s := range m.classes {
+		kept := copy(m.classes[s], m.classes[s][drop:])
+		m.classes[s] = m.classes[s][:kept]
+	}
+	m.base = min
+}
+
+// RunInterval advances every cell by n issued instructions and accumulates
+// each cell's time at its own coupled clock — float64(cycles) × period, the
+// identical float expression clock.System.Advance applies in the per-cell
+// oracle. Per-cell fractional-load accumulators carry across intervals
+// exactly as CombinedMachine's do.
+func (m *MultiCombined) RunInterval(n int64) {
+	sts := m.mc.RunEachWithLoads(m.istream, n, m.rpi, m.memLat)
+	for i, st := range sts {
+		m.instrs[i] += st.Issued
+		m.timeNS[i] += float64(st.Cycles) * m.periods[i]
+	}
+	m.trim()
+}
+
+// TPIs returns each cell's cumulative ns per instruction, index-parallel to
+// the construction points.
+func (m *MultiCombined) TPIs() []float64 {
+	out := make([]float64, len(m.points))
+	for i := range m.points {
+		if m.instrs[i] != 0 {
+			out[i] = m.timeNS[i] / float64(m.instrs[i])
+		}
+	}
+	return out
+}
+
+// PublishObs ships the member engines' telemetry deltas.
+func (m *MultiCombined) PublishObs() {
+	m.mc.PublishObs()
+	m.mh.PublishObs()
+}
+
+// ProfileCombined profiles every joint configuration point for one
+// application: each point runs `intervals` intervals of n instructions from
+// a fresh machine state and the result is its TotalTPI, index-parallel to
+// points — the profiling grid behind the Figure 5 experiment.
+//
+// With the shared-trace path enabled (the default), the whole grid is
+// evaluated by ONE MultiCombined pass: the instruction stream is decoded
+// once for all queue columns, each reference is decoded and classified once
+// for all cache rows, and cells with the same boundary share hierarchy
+// state. Otherwise every point profiles on a private CombinedMachine, swept
+// in parallel across the pool. Both paths are bit-identical
+// (TestProfileCombinedOnepass).
+func ProfileCombined(ctx context.Context, b workload.Benchmark, seed uint64, sizes []int, p cache.Params, maxBoundary int, points []CombinedConfig, intervals, n int64, penaltyCycles int, f tech.FeatureSize) ([]float64, error) {
+	as := obs.StartAsync("profile", "combined:"+b.Name)
+	defer as.End(obs.Arg{K: "points", V: len(points)}, obs.Arg{K: "onepass", V: trace.Enabled()})
+	if trace.Enabled() {
+		m, err := NewMultiCombined(b, seed, sizes, p, maxBoundary, points, f)
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < intervals; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m.RunInterval(n)
+		}
+		m.PublishObs()
+		return m.TPIs(), nil
+	}
+	return sweep.RunCtx(ctx, len(points), func(j int) (float64, error) {
+		m, err := NewCombinedMachine(b, seed, sizes, p, maxBoundary, points[j], penaltyCycles, f)
+		if err != nil {
+			return 0, err
+		}
+		for i := int64(0); i < intervals; i++ {
+			m.RunInterval(n)
+		}
+		return m.TotalTPI(), nil
+	})
+}

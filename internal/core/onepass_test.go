@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"capsim/internal/cache"
@@ -122,5 +123,97 @@ func TestProfileCacheTPIOnepassErrors(t *testing.T) {
 	}
 	if _, _, err := ProfileCacheTPI(workload.MustByName("gcc"), 1, p, p.Increments, 0, 1000); err == nil {
 		t.Error("out-of-range boundary accepted")
+	}
+}
+
+// TestProfileCombinedOnepass is the acceptance gate of the joint kernel:
+// ProfileCombined must return bit-identical per-point TPI whether the whole
+// (boundary × queue) grid is evaluated by one MultiCombined pass (default)
+// or by independent CombinedMachines (-onepass=false). Exact float64
+// equality — the joint kernel replicates load placement, per-boundary
+// hierarchy state, coupled clocks and the TPI arithmetic, not approximations
+// of them.
+func TestProfileCombinedOnepass(t *testing.T) {
+	p := cache.PaperParams()
+	sizes := []int{16, 64, 128}
+	var points []CombinedConfig
+	for _, k := range []int{1, 2, 6, 8} {
+		for _, w := range sizes {
+			points = append(points, CombinedConfig{QueueEntries: w, Boundary: k})
+		}
+	}
+	intervals, n := int64(12), int64(2000)
+	for _, name := range []string{"gcc", "swim"} {
+		b := workload.MustByName(name)
+		trace.Reset()
+		one, err := ProfileCombined(context.Background(), b, 1998, sizes, p, PaperMaxBoundary, points, intervals, n, -1, tech.Micron018)
+		if err != nil {
+			t.Fatalf("%s onepass: %v", name, err)
+		}
+		var leg []float64
+		withLegacy(func() {
+			leg, err = ProfileCombined(context.Background(), b, 1998, sizes, p, PaperMaxBoundary, points, intervals, n, -1, tech.Micron018)
+		})
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+		for j, cc := range points {
+			if one[j] != leg[j] {
+				t.Errorf("%s IQ=%d/L1=%d: TPI onepass %v != legacy %v", name, cc.QueueEntries, cc.Boundary, one[j], leg[j])
+			}
+		}
+	}
+}
+
+// TestProfileCombinedOnepassErrors locks validation parity on the joint path.
+func TestProfileCombinedOnepassErrors(t *testing.T) {
+	trace.Reset()
+	defer trace.Reset()
+	ctx := context.Background()
+	p := cache.PaperParams()
+	b := workload.MustByName("gcc")
+	noMem := workload.Benchmark{Name: "synthetic", ILP: b.ILP}
+	pts := []CombinedConfig{{QueueEntries: 16, Boundary: 1}}
+	if _, err := ProfileCombined(ctx, noMem, 1, []int{16}, p, PaperMaxBoundary, pts, 1, 100, -1, tech.Micron018); err == nil {
+		t.Error("missing memory profile accepted")
+	}
+	if _, err := ProfileCombined(ctx, b, 1, []int{16}, p, PaperMaxBoundary, nil, 1, 100, -1, tech.Micron018); err == nil {
+		t.Error("empty point list accepted")
+	}
+	bad := []CombinedConfig{{QueueEntries: 32, Boundary: 1}}
+	if _, err := ProfileCombined(ctx, b, 1, []int{16}, p, PaperMaxBoundary, bad, 1, 100, -1, tech.Micron018); err == nil {
+		t.Error("queue size outside table accepted")
+	}
+	bad = []CombinedConfig{{QueueEntries: 16, Boundary: PaperMaxBoundary + 1}}
+	if _, err := ProfileCombined(ctx, b, 1, []int{16}, p, PaperMaxBoundary, bad, 1, 100, -1, tech.Micron018); err == nil {
+		t.Error("out-of-range boundary accepted")
+	}
+}
+
+// TestProfileQueueTracesOnepass checks the interval-trace sharing: every
+// size's per-interval TPI trace from the shared MultiCore rounds must be
+// bit-identical to a private fixed-configuration QueueMachine's.
+func TestProfileQueueTracesOnepass(t *testing.T) {
+	b := workload.MustByName("turb3d")
+	sizes := []int{16, 64, 128}
+	intervals, n := int64(25), int64(2000)
+	trace.Reset()
+	one, err := ProfileQueueTraces(context.Background(), b, 1998, sizes, intervals, n, -1, tech.Micron018)
+	if err != nil {
+		t.Fatalf("onepass: %v", err)
+	}
+	var leg [][]float64
+	withLegacy(func() {
+		leg, err = ProfileQueueTraces(context.Background(), b, 1998, sizes, intervals, n, -1, tech.Micron018)
+	})
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	for i, w := range sizes {
+		for iv := range one[i] {
+			if one[i][iv] != leg[i][iv] {
+				t.Errorf("size %d interval %d: onepass %v != legacy %v", w, iv, one[i][iv], leg[i][iv])
+			}
+		}
 	}
 }

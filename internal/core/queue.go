@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"capsim/internal/clock"
@@ -233,6 +234,75 @@ func ProfileQueueTPI(b workload.Benchmark, seed uint64, sizes []int, instrs int6
 	return sweep.Run(len(sizes), func(i int) (float64, error) {
 		return ProfileQueueConfig(b, seed, sizes, i, instrs, f)
 	})
+}
+
+// ProfileQueueTraces runs each queue size interval-by-interval over the
+// application's stream and returns per-size, per-interval TPI — the raw
+// material of the Figure 12/13 snapshots and the per-interval oracle.
+//
+// With the shared-trace path enabled (the default), all sizes advance
+// together through ONE ooo.MultiCore over the shared instruction buffer, one
+// RunEach round per interval; the stream is generated and decoded once for
+// the whole family instead of once per size. Otherwise each size replays on
+// a private fixed-configuration QueueMachine, fanned out across the sweep
+// pool. Both paths are bit-identical (TestProfileQueueTracesOnepass).
+func ProfileQueueTraces(ctx context.Context, b workload.Benchmark, seed uint64, sizes []int, intervals, n int64, penaltyCycles int, f tech.FeatureSize) ([][]float64, error) {
+	as := obs.StartAsync("profile", "queue-trace:"+b.Name)
+	defer as.End(obs.Arg{K: "configs", V: len(sizes)}, obs.Arg{K: "intervals", V: intervals}, obs.Arg{K: "onepass", V: trace.Enabled()})
+	if trace.Enabled() {
+		return profileQueueTracesOnepass(ctx, b, seed, sizes, intervals, n, f)
+	}
+	return sweep.RunCtx(ctx, len(sizes), func(i int) ([]float64, error) {
+		m, err := NewQueueMachine(b, seed, []int{sizes[i]}, 0, penaltyCycles, f)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, intervals)
+		for iv := int64(0); iv < intervals; iv++ {
+			out[iv] = m.RunInterval(n).TPI
+		}
+		m.PublishObs()
+		return out, nil
+	})
+}
+
+// profileQueueTracesOnepass is the MultiCore engine behind ProfileQueueTraces;
+// the per-interval TPI expression replicates QueueMachine.RunInterval's
+// float operation order (cycles × period, divided by issued) so each trace is
+// bit-identical to a private fixed-configuration machine.
+func profileQueueTracesOnepass(ctx context.Context, b workload.Benchmark, seed uint64, sizes []int, intervals, n int64, f tech.FeatureSize) ([][]float64, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("core: no queue sizes")
+	}
+	tp := tech.ForFeature(f)
+	cfgs := make([]ooo.Config, len(sizes))
+	cycs := make([]float64, len(sizes))
+	for i, w := range sizes {
+		if w < 1 {
+			return nil, fmt.Errorf("core: queue size %d invalid", w)
+		}
+		cfgs[i] = ooo.PaperConfig(w)
+		cycs[i] = palacharla.CycleTime(palacharla.Queue{Entries: w, IssueWidth: 8}, tp)
+	}
+	mc, err := ooo.NewMultiCore(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	stream := trace.InstrSourceFor(b, seed)
+	out := make([][]float64, len(sizes))
+	for i := range out {
+		out[i] = make([]float64, intervals)
+	}
+	for iv := int64(0); iv < intervals; iv++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i, st := range mc.RunEach(stream, n) {
+			out[i][iv] = float64(st.Cycles) * cycs[i] / float64(st.Issued)
+		}
+	}
+	mc.PublishObs()
+	return out, nil
 }
 
 // profileQueueTPIOnepass is the MultiCore engine behind ProfileQueueTPI. The

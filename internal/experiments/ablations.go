@@ -47,12 +47,11 @@ func runIntervalPolicy(cfg Config, app string, sizes []int, p core.Policy, inter
 
 // oracleTPI computes the per-interval oracle: the TPI of always running the
 // better of the two configurations each interval, ignoring switch costs — a
-// lower bound no realizable predictor can beat. The two traces are
-// independent simulations and run in parallel.
+// lower bound no realizable predictor can beat. Both traces come from one
+// shared-stream family pass (or a parallel legacy fan-out; see
+// core.ProfileQueueTraces).
 func oracleTPI(ctx context.Context, cfg Config, app string, sizes []int, intervals int64) (float64, error) {
-	traces, err := sweep.RunCtx(ctx, 2, func(i int) ([]float64, error) {
-		return intervalTrace(cfg, app, sizes[i], intervals)
-	})
+	traces, err := intervalTraces(ctx, cfg, app, sizes, intervals)
 	if err != nil {
 		return 0, err
 	}

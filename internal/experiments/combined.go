@@ -48,34 +48,28 @@ func ablationCombined(ctx context.Context, cfg Config) (Result, error) {
 	if intervals < 10 {
 		intervals = 10
 	}
-	run := func(app string, cc core.CombinedConfig) (float64, error) {
-		b, err := workload.ByName(app)
-		if err != nil {
-			return 0, err
-		}
-		m, err := core.NewCombinedMachine(b, cfg.Seed, qs, cfg.CacheParams, core.PaperMaxBoundary, cc, cfg.PenaltyCycles, cfg.Feature)
-		if err != nil {
-			return 0, err
-		}
-		for i := int64(0); i < intervals; i++ {
-			m.RunInterval(cfg.IntervalInstrs)
-		}
-		return m.TotalTPI(), nil
-	}
 
-	// The (application x boundary x queue-size) profiling grid — 5 x 4 x 3 —
-	// is a pile of independent simulations: fan the whole cross product out
-	// across the sweep pool. Joint-space point j maps to (bs[j/len(qs)],
-	// qs[j%len(qs)]), preserving the original scan order, so the joint-best
-	// tie-break (first strictly-smaller wins) is unchanged.
+	// One ProfileCombined call per application covers its whole (boundary x
+	// queue-size) grid: under -onepass that is a single joint-kernel pass
+	// per app (stream decoded once, hierarchy rows shared across queue
+	// columns); under the legacy oracle it fans the independent per-point
+	// machines across the sweep pool, exactly as the old flat grid did.
+	// Joint-space point j maps to (bs[j/len(qs)], qs[j%len(qs)]), preserving
+	// the original scan order, so the joint-best tie-break (first
+	// strictly-smaller wins) is unchanged.
 	points := make([]core.CombinedConfig, 0, len(bs)*len(qs))
 	for _, k := range bs {
 		for _, w := range qs {
 			points = append(points, core.CombinedConfig{QueueEntries: w, Boundary: k})
 		}
 	}
-	grid, err := sweep.GridCtx(ctx, len(apps), len(points), func(a, j int) (float64, error) {
-		return run(apps[a], points[j])
+	grid, err := sweep.RunCtx(ctx, len(apps), func(a int) ([]float64, error) {
+		b, err := workload.ByName(apps[a])
+		if err != nil {
+			return nil, err
+		}
+		return core.ProfileCombined(ctx, b, cfg.Seed, qs, cfg.CacheParams, core.PaperMaxBoundary,
+			points, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
 	})
 	if err != nil {
 		return Result{}, err

@@ -6,7 +6,6 @@ import (
 
 	"capsim/internal/core"
 	"capsim/internal/metrics"
-	"capsim/internal/sweep"
 	"capsim/internal/workload"
 )
 
@@ -15,26 +14,17 @@ func init() {
 	register("fig13", "vortex interval snapshots, 16- vs 64-entry queue (Figure 13)", fig13)
 }
 
-// intervalTrace runs one fixed queue configuration interval-by-interval over
-// the application's stream and returns per-interval TPI for intervals
-// [0, n).
-func intervalTrace(cfg Config, app string, entries int, n int64) ([]float64, error) {
+// intervalTraces runs the fixed queue configurations interval-by-interval
+// over the application's stream and returns per-configuration, per-interval
+// TPI for intervals [0, n) — one shared-stream pass for the whole family
+// under -onepass, independent machines fanned across the sweep pool
+// otherwise (see core.ProfileQueueTraces).
+func intervalTraces(ctx context.Context, cfg Config, app string, entries []int, n int64) ([][]float64, error) {
 	b, err := workload.ByName(app)
 	if err != nil {
 		return nil, err
 	}
-	sizes := []int{entries}
-	m, err := core.NewQueueMachine(b, cfg.Seed, sizes, 0, cfg.PenaltyCycles, cfg.Feature)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, n)
-	for i := int64(0); i < n; i++ {
-		s := m.RunInterval(cfg.IntervalInstrs)
-		out[i] = s.TPI
-	}
-	m.PublishObs()
-	return out, nil
+	return core.ProfileQueueTraces(ctx, b, cfg.Seed, entries, n, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
 }
 
 // snapshotFigure builds one snapshot panel comparing two configurations over
@@ -99,12 +89,7 @@ func fig12(ctx context.Context, cfg Config) (Result, error) {
 	loB, hiB := block+block/5, block+block/5+200
 	total := hiB + 10
 
-	// The two fixed-configuration traces are independent simulations: run
-	// them in parallel.
-	entries := []int{64, 128}
-	traces, err := sweep.RunCtx(ctx, 2, func(i int) ([]float64, error) {
-		return intervalTrace(cfg, "turb3d", entries[i], total)
-	})
+	traces, err := intervalTraces(ctx, cfg, "turb3d", []int{64, 128}, total)
 	if err != nil {
 		return Result{}, err
 	}
@@ -135,11 +120,7 @@ func fig13(ctx context.Context, cfg Config) (Result, error) {
 	loB, hiB := super+super/6, super+super/6+300
 	total := hiB + 10
 
-	// As in fig12, the two traces are independent; fan them out.
-	entries := []int{16, 64}
-	traces, err := sweep.RunCtx(ctx, 2, func(i int) ([]float64, error) {
-		return intervalTrace(cfg, "vortex", entries[i], total)
-	})
+	traces, err := intervalTraces(ctx, cfg, "vortex", []int{16, 64}, total)
 	if err != nil {
 		return Result{}, err
 	}

@@ -377,3 +377,60 @@ func TestRingGrowPreservesState(t *testing.T) {
 			len(sc.done), len(ev.done), base)
 	}
 }
+
+func TestRunEachWithLoadsDifferential(t *testing.T) {
+	// RunEachWithLoads must be bit-identical to independent RunWithLoads
+	// runs with the same per-core latency sources — same stats AND same
+	// memLat call sequence (the joint kernel's cache rows depend on the
+	// latter) — across interval splits and both engines.
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{16, 64, 128}
+	const rpi = 0.3
+	prev := DefaultEngine()
+	defer SetDefaultEngine(prev)
+	for _, eng := range []Engine{EngineEvent, EngineScan} {
+		SetDefaultEngine(eng)
+		cfgs := make([]Config, len(sizes))
+		for i, w := range sizes {
+			cfgs[i] = PaperConfig(w)
+		}
+		mc, err := NewMultiCore(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lats := make([]*lcg, len(sizes))
+		calls := make([]int64, len(sizes))
+		memLat := make([]func(bool) int64, len(sizes))
+		for i := range sizes {
+			l := &lcg{x: uint64(1000 + i)}
+			lats[i] = l
+			i := i
+			memLat[i] = func(w bool) int64 { calls[i]++; return l.memLat(w) }
+		}
+		src := workload.NewInstrStream(bench, 77)
+		for round := 0; round < 3; round++ {
+			got := mc.RunEachWithLoads(src, 4000, rpi, memLat)
+			for i, cfg := range cfgs {
+				ref := MustNew(cfg)
+				refSrc := workload.NewInstrStream(bench, 77)
+				refLat := &lcg{x: uint64(1000 + i)}
+				var refCalls int64
+				var want Stats
+				for r := 0; r <= round; r++ {
+					want = ref.RunWithLoads(refSrc, 4000, rpi, func(w bool) int64 { refCalls++; return refLat.memLat(w) })
+				}
+				if got[i] != want {
+					t.Fatalf("engine %v round %d W=%d: multicore %+v != independent %+v",
+						eng, round, cfg.WindowSize, got[i], want)
+				}
+				if calls[i] != refCalls || lats[i].x != refLat.x {
+					t.Fatalf("engine %v round %d W=%d: load sequence diverged (%d vs %d calls)",
+						eng, round, cfg.WindowSize, calls[i], refCalls)
+				}
+			}
+		}
+	}
+}

@@ -218,6 +218,50 @@ func (c *Core) dispatchEvent(stream workload.InstrSource, n int) {
 	}
 }
 
+// idleSkip advances the clock directly to the next cycle with scheduled
+// readiness, returning how many cycles were skipped (0 when this cycle has —
+// or may have — work). Callers invoke it only on cycles with no dispatch
+// (full window, or draining): in that state nothing reads the stream, no
+// wakeup can fire (wakeups only follow issues), and the select pool is empty,
+// so every cycle until the earliest calendar/far readiness is a pure stall —
+// the per-cycle loop would do nothing but increment counters. Skipping d
+// cycles is therefore exact as long as the caller adds d to the same counters
+// the loop would have bumped (Cycles plus WindowFullCy or DrainStalls).
+//
+// The span invariant survives the jump: live near-bucket entries have readyAt
+// in (oldCycle, oldCycle+nearBuckets), the jump lands on the minimum such
+// readyAt (or the far minimum, whichever is earlier), so afterwards every
+// entry still satisfies cycle <= readyAt < cycle+nearBuckets and this cycle's
+// bucket is exactly the entries now due. A non-empty window always has a
+// scheduled readiness (eligible, near or far): entries waiting on producers
+// chain down to an oldest entry whose sources are all resolved.
+func (c *Core) idleSkip() int64 {
+	ev := &c.ev
+	if len(ev.eligible) > 0 || len(ev.near[c.cycle&nearMask]) > 0 {
+		return 0
+	}
+	if len(ev.far) > 0 && ev.far[0].ready <= c.cycle {
+		return 0
+	}
+	next := int64(-1)
+	for d := int64(1); d < nearBuckets; d++ {
+		if len(ev.near[(c.cycle+d)&nearMask]) > 0 {
+			next = c.cycle + d
+			break
+		}
+	}
+	if len(ev.far) > 0 && (next < 0 || ev.far[0].ready < next) {
+		next = ev.far[0].ready
+	}
+	if next < 0 {
+		return 0
+	}
+	d := next - c.cycle
+	c.cycle = next
+	c.tal.idleSkipped += d
+	return d
+}
+
 // issueCycleEvent performs one wakeup+select pass at the current cycle.
 func (c *Core) issueCycleEvent() {
 	ev := &c.ev

@@ -28,6 +28,10 @@ type MultiCore struct {
 	pos   []int64 // pos[i]: absolute stream index of core i's next instruction
 	base  int64   // absolute stream index of buf[0]
 	buf   []workload.Instr
+	// curs[i] is core i's buffer cursor, boxed into the InstrSource
+	// interface once at construction: mcCursor is a two-word struct, so
+	// converting it at every Step call would allocate on the hot path.
+	curs []workload.InstrSource
 }
 
 // refillBatch is the shared-buffer growth quantum: large enough to amortize
@@ -44,6 +48,7 @@ func NewMultiCore(cfgs []Config) (*MultiCore, error) {
 		cores: make([]*Core, len(cfgs)),
 		pos:   make([]int64, len(cfgs)),
 		buf:   make([]workload.Instr, 0, refillBatch*2),
+		curs:  make([]workload.InstrSource, len(cfgs)),
 	}
 	for i, cfg := range cfgs {
 		c, err := New(cfg)
@@ -51,6 +56,7 @@ func NewMultiCore(cfgs []Config) (*MultiCore, error) {
 			return nil, err
 		}
 		mc.cores[i] = c
+		mc.curs[i] = mcCursor{mc: mc, core: i}
 	}
 	return mc, nil
 }
@@ -81,6 +87,36 @@ func (cu mcCursor) Next() workload.Instr {
 // pulling the shared stream as needed, and returns the per-core statistics
 // deltas (index-parallel to Cores).
 func (mc *MultiCore) RunEach(src workload.InstrSource, n int64) []Stats {
+	return mc.runEach(src, n)
+}
+
+// RunEachWithLoads is RunEach with each core's perfect-cache assumption
+// replaced by its own load-latency source: core i draws the extra latency of
+// its deterministic rpi-spaced memory operations from memLat[i]. Load
+// PLACEMENT is identical across cores (same rpi, and each core's fractional
+// accumulator advances once per dispatched instruction), so the i-th load of
+// the run lands on the same stream position everywhere — which is what lets
+// the joint cache×queue kernel classify each load once per cache row and
+// serve every queue column from the same classification sequence. As with
+// RunWithLoads, per-core accumulators persist across calls, so interval
+// splits keep the exact load spacing.
+func (mc *MultiCore) RunEachWithLoads(src workload.InstrSource, n int64, rpi float64, memLat []func(write bool) int64) []Stats {
+	if len(memLat) != len(mc.cores) {
+		panic(fmt.Sprintf("ooo: %d memLat sources for %d cores", len(memLat), len(mc.cores)))
+	}
+	for i, c := range mc.cores {
+		c.attachLoads(rpi, memLat[i])
+	}
+	defer func() {
+		for _, c := range mc.cores {
+			c.detachLoads()
+		}
+	}()
+	return mc.runEach(src, n)
+}
+
+// runEach is the shared round loop behind RunEach and RunEachWithLoads.
+func (mc *MultiCore) runEach(src workload.InstrSource, n int64) []Stats {
 	k := len(mc.cores)
 	before := make([]Stats, k)
 	target := make([]int64, k)
@@ -94,14 +130,28 @@ func (mc *MultiCore) RunEach(src workload.InstrSource, n int64) []Stats {
 			if c.stats.Issued >= target[i] {
 				continue
 			}
-			done = false
-			cur := mcCursor{mc: mc, core: i}
+			cur := mc.curs[i]
 			// A Step dispatches at most IssueWidth instructions; run
 			// until the target is met or the lookahead cannot cover a
-			// full dispatch group.
+			// full dispatch group. A core whose window is full consumes
+			// nothing, so it may keep stepping (issuing, or
+			// fast-forwarding a stall) regardless of lookahead — without
+			// this, one long-stalled core wedges the round-robin into
+			// refilling for everyone else until its stall resolves.
 			limit := mc.base + int64(len(mc.buf)) - int64(c.cfg.IssueWidth)
-			for c.stats.Issued < target[i] && mc.pos[i] <= limit {
+			for c.stats.Issued < target[i] {
+				if mc.pos[i] > limit && c.Occupancy() < c.cfg.WindowSize {
+					break
+				}
 				c.Step(cur)
+			}
+			// Only a core that is still short after draining its lookahead
+			// forces a refill; marking done=false up front would append a
+			// batch even when every core reached its target from data
+			// already buffered, growing the buffer (and materializing
+			// trace chunks) ~2x ahead of consumption.
+			if c.stats.Issued < target[i] {
+				done = false
 			}
 		}
 		if done {
@@ -116,8 +166,15 @@ func (mc *MultiCore) RunEach(src workload.InstrSource, n int64) []Stats {
 	return out
 }
 
+// bulkInstrSource is the optional batched-read fast path a source may offer
+// (trace.OpCursor does): fill a prefix of dst, return the count written.
+type bulkInstrSource interface {
+	CopyNext(dst []workload.Instr) int
+}
+
 // refill recycles the consumed buffer prefix (everything below the slowest
-// cursor) and appends the next batch from the shared stream.
+// cursor) and appends the next batch from the shared stream — via the
+// source's bulk reader when it has one, one Next at a time otherwise.
 func (mc *MultiCore) refill(src workload.InstrSource) {
 	min := mc.pos[0]
 	for _, p := range mc.pos[1:] {
@@ -129,6 +186,23 @@ func (mc *MultiCore) refill(src workload.InstrSource) {
 		kept := copy(mc.buf, mc.buf[drop:])
 		mc.buf = mc.buf[:kept]
 		mc.base = min
+	}
+	if bs, ok := src.(bulkInstrSource); ok {
+		n := len(mc.buf)
+		if cap(mc.buf) < n+refillBatch {
+			newCap := 2 * cap(mc.buf)
+			if newCap < n+refillBatch {
+				newCap = n + refillBatch
+			}
+			grown := make([]workload.Instr, n, newCap)
+			copy(grown, mc.buf)
+			mc.buf = grown
+		}
+		mc.buf = mc.buf[:n+refillBatch]
+		for filled := 0; filled < refillBatch; {
+			filled += bs.CopyNext(mc.buf[n+filled : n+refillBatch])
+		}
+		return
 	}
 	for i := 0; i < refillBatch; i++ {
 		mc.buf = append(mc.buf, src.Next())

@@ -19,6 +19,7 @@ var (
 	obsFiledFar   = obs.NewCounter("ooo.filed_far")      // entries filed into the far heap
 	obsRingGrows  = obs.NewCounter("ooo.ring_grows")     // completion-ring growths
 	obsResizes    = obs.NewCounter("ooo.resizes")        // window Resize calls
+	obsIdleSkip   = obs.NewCounter("ooo.idle_skipped")   // stall cycles fast-forwarded (event engine)
 	obsWindowG    = obs.NewGauge("ooo.window_current")   // window size at the last publish
 	obsOccupancyG = obs.NewGauge("ooo.occupancy")        // occupancy at the last publish
 )
@@ -33,6 +34,7 @@ type tallies struct {
 	filedFar    int64
 	ringGrows   int64 // monotone: growRing only ever enlarges the ring
 	resizes     int64
+	idleSkipped int64 // stall cycles fast-forwarded by idleSkip
 }
 
 // sub returns t - o field-wise.
@@ -44,6 +46,7 @@ func (t tallies) sub(o tallies) tallies {
 		filedFar:    t.filedFar - o.filedFar,
 		ringGrows:   t.ringGrows - o.ringGrows,
 		resizes:     t.resizes - o.resizes,
+		idleSkipped: t.idleSkipped - o.idleSkipped,
 	}
 }
 
@@ -69,6 +72,7 @@ func (c *Core) PublishObs() {
 	obsFiledFar.Add1(dt.filedFar)
 	obsRingGrows.Add1(dt.ringGrows)
 	obsResizes.Add1(dt.resizes)
+	obsIdleSkip.Add1(dt.idleSkipped)
 	obsWindowG.Set(int64(c.cfg.WindowSize))
 	obsOccupancyG.Set(int64(c.Occupancy()))
 }

@@ -263,6 +263,17 @@ func (c *Core) Run(stream workload.InstrSource, n int64) Stats {
 // load placement — and therefore identical memLat call sequence and
 // statistics — as one unbroken run.
 func (c *Core) RunWithLoads(stream workload.InstrSource, n int64, rpi float64, memLat func(write bool) int64) Stats {
+	c.attachLoads(rpi, memLat)
+	defer c.detachLoads()
+	return c.Run(stream, n)
+}
+
+// attachLoads enables the deterministic load attachment for subsequent Step
+// calls: every 1/rpi-th dispatched instruction draws extra latency from
+// memLat. The fractional accumulator is deliberately left untouched so
+// interval splits preserve load placement (see loadAcc). MultiCore attaches
+// per-core closures around its shared-stream rounds.
+func (c *Core) attachLoads(rpi float64, memLat func(write bool) int64) {
 	if rpi < 0 {
 		rpi = 0
 	}
@@ -270,9 +281,10 @@ func (c *Core) RunWithLoads(stream workload.InstrSource, n int64, rpi float64, m
 		rpi = 1
 	}
 	c.loadRPI, c.memLat = rpi, memLat
-	defer func() { c.loadRPI, c.memLat = 0, nil }()
-	return c.Run(stream, n)
 }
+
+// detachLoads restores the perfect-cache assumption (accumulator preserved).
+func (c *Core) detachLoads() { c.loadRPI, c.memLat = 0, nil }
 
 // Step advances the machine by one cycle: dispatch up to IssueWidth new
 // instructions into free window slots, then wake up and select up to
@@ -291,6 +303,16 @@ func (c *Core) Step(stream workload.InstrSource) {
 		}
 	}
 	if c.engine == EngineEvent {
+		if dispatch == 0 {
+			// Full window: nothing reads the stream this cycle, so when
+			// nothing is due either, the machine is mid-stall and the
+			// event structures name the next cycle anything happens.
+			// Fast-forward straight to it; every skipped cycle would have
+			// been another dispatch-blocked no-op (bit-identical stats).
+			d := c.idleSkip()
+			c.stats.Cycles += d
+			c.stats.WindowFullCy += d
+		}
 		c.dispatchEvent(stream, dispatch)
 		c.issueCycleEvent()
 	} else {
@@ -448,6 +470,11 @@ func (c *Core) Drain(max int) {
 		c.stats.Cycles++
 		c.stats.DrainStalls++
 		if c.engine == EngineEvent {
+			// Draining never dispatches, so stall gaps fast-forward the
+			// same way Step's full-window path does.
+			d := c.idleSkip()
+			c.stats.Cycles += d
+			c.stats.DrainStalls += d
 			c.issueCycleEvent()
 		} else {
 			c.issueCycle()

@@ -36,10 +36,17 @@ type decKey struct {
 	geo Geometry
 }
 
-// decChunk is one immutable span of ChunkLen decoded references.
+// decChunk is one immutable span of ChunkLen decoded references, encoded as
+// interleaved zigzag-delta varint (set, tag) pairs. Both delta chains
+// restart at zero per chunk; the write flags live in the source refChunk's
+// raw bitset, which the cursor reads in lockstep.
 type decChunk struct {
-	sets [ChunkLen]int32
-	tags [ChunkLen]uint64
+	enc []byte
+}
+
+// decChunkBytes is the chunk's live footprint.
+func decChunkBytes(c *decChunk) int64 {
+	return int64(unsafe.Sizeof(*c)) + int64(len(c.enc))
 }
 
 // DecodedStore caches the (set, tag) decomposition of a RefStore for one
@@ -58,8 +65,12 @@ type DecodedStore struct {
 	setMask    uint64
 	setShift   uint
 
-	mu     sync.Mutex
-	chunks atomic.Pointer[[]*decChunk]
+	mu      sync.Mutex
+	scratch []byte // encode buffer, guarded by mu
+	chunks  atomic.Pointer[[]*decChunk]
+
+	bytes atomic.Int64
+	use   atomic.Uint64
 }
 
 // DecodedFor returns the decoded stream of store s under geometry g,
@@ -78,6 +89,7 @@ func DecodedFor(s *RefStore, g Geometry) *DecodedStore {
 			d.setShift = uint(bits.TrailingZeros(uint(g.Sets)))
 			d.setMask = uint64(g.Sets - 1)
 		}
+		registerStore(d)
 		return d
 	})
 }
@@ -101,7 +113,9 @@ func (d *DecodedStore) Len() int64 {
 }
 
 // ensure decodes chunks until at least n references are available,
-// materializing the source as needed.
+// materializing the source as needed. The source chunk is decoded
+// incrementally (it is itself delta-compressed), re-encoding each reference
+// as interleaved (set, tag) deltas.
 func (d *DecodedStore) ensure(n int64) {
 	if d.Len() >= n {
 		return
@@ -116,21 +130,36 @@ func (d *DecodedStore) ensure(n int64) {
 		t0 := time.Now()
 		src := d.src.chunk(int64(len(cur)))
 		c := new(decChunk)
+		enc := d.scratch[:0]
+		var prevAddr, prevTag uint64
+		var prevSet int32
+		off := 0
 		for i := 0; i < ChunkLen; i++ {
-			c.sets[i], c.tags[i] = d.Decode(src.addrs[i])
+			u, o := uvarintAt(src.enc, off)
+			off = o
+			prevAddr += uint64(unzigzag(u))
+			set, tag := d.Decode(prevAddr)
+			enc = appendUvarint(enc, zigzag(int64(set-prevSet)))
+			enc = appendUvarint(enc, zigzag(int64(tag-prevTag)))
+			prevSet, prevTag = set, tag
 		}
+		d.scratch = enc
+		c.enc = append(make([]byte, 0, len(enc)), enc...)
 		next := make([]*decChunk, len(cur)+1)
 		copy(next, cur)
 		next[len(cur)] = c
 		cur = next
 		d.chunks.Store(&next)
+		d.bytes.Add(decChunkBytes(c))
 		obsDecChunks.Inc1()
-		obsBytes.Add1(int64(unsafe.Sizeof(decChunk{})))
+		obsBytes.Add1(decChunkBytes(c))
+		obsBytesRaw.Add1(rawDecChunkBytes)
 		obsGenNS.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 
-// chunk returns the ci-th decoded chunk, decoding as needed.
+// chunk returns the ci-th decoded chunk, decoding as needed (internal, no
+// budget bookkeeping).
 func (d *DecodedStore) chunk(ci int64) *decChunk {
 	cs := d.chunks.Load()
 	if cs == nil || ci >= int64(len(*cs)) {
@@ -140,6 +169,29 @@ func (d *DecodedStore) chunk(ci int64) *decChunk {
 	return (*cs)[ci]
 }
 
+// cursorChunk is the cursor-facing chunk load (recency stamp + budget).
+func (d *DecodedStore) cursorChunk(ci int64) *decChunk {
+	c := d.chunk(ci)
+	d.use.Store(touchStamp())
+	enforceBudget(d)
+	return c
+}
+
+// evictable implementation (budget.go). The decoded store has no generator
+// of its own — eviction just drops the chunks; ensure re-derives them from
+// the (possibly also re-materialized) source.
+func (d *DecodedStore) liveBytes() int64    { return d.bytes.Load() }
+func (d *DecodedStore) nominalBytes() int64 { return d.Len() / ChunkLen * rawDecChunkBytes }
+func (d *DecodedStore) lastUse() uint64     { return d.use.Load() }
+func (d *DecodedStore) evict() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	obsBytes.Add1(-d.bytes.Load())
+	obsBytesRaw.Add1(-d.nominalBytes())
+	d.chunks.Store(nil)
+	d.bytes.Store(0)
+}
+
 // Cursor returns a replay cursor over the decoded stream. Not safe for
 // concurrent use; each goroutine takes its own.
 func (d *DecodedStore) Cursor() *DecodedCursor { return &DecodedCursor{d: d, idx: ChunkLen} }
@@ -147,22 +199,33 @@ func (d *DecodedStore) Cursor() *DecodedCursor { return &DecodedCursor{d: d, idx
 // DecodedCursor replays pre-decoded (set, tag, write) references in stream
 // order. It implements cache.DecodedSource.
 type DecodedCursor struct {
-	d   *DecodedStore
-	ci  int64
-	idx int
-	dec *decChunk
-	src *refChunk
+	d       *DecodedStore
+	ci      int64
+	idx     int
+	off     int
+	prevSet int32
+	prevTag uint64
+	dec     *decChunk
+	src     *refChunk
 }
 
 // NextDecoded returns the next reference's set index, tag and write flag.
 func (c *DecodedCursor) NextDecoded() (set int32, tag uint64, write bool) {
 	if c.idx == ChunkLen {
-		c.dec = c.d.chunk(c.ci)
-		c.src = c.d.src.chunk(c.ci)
+		c.dec = c.d.cursorChunk(c.ci)
+		c.src = c.d.src.cursorChunk(c.ci)
 		c.ci++
 		c.idx = 0
+		c.off = 0
+		c.prevSet, c.prevTag = 0, 0
 	}
 	i := c.idx
 	c.idx++
-	return c.dec.sets[i], c.dec.tags[i], c.src.writes[i>>6]>>(uint(i)&63)&1 == 1
+	enc := c.dec.enc
+	u0, off := uvarintAt(enc, c.off)
+	u1, off := uvarintAt(enc, off)
+	c.off = off
+	c.prevSet += int32(unzigzag(u0))
+	c.prevTag += uint64(unzigzag(u1))
+	return c.prevSet, c.prevTag, c.src.writes[i>>6]>>(uint(i)&63)&1 == 1
 }

@@ -8,14 +8,17 @@
 # obs-enabled overhead on the fig7/fig10 profiling passes); `make
 # bench-joint` regenerates BENCH_joint.json (independent per-cell machines
 # vs the joint cache x queue kernel on the Figure 5 ablation, plus the
-# compressed trace-tier ratio); `make bench-compare` prints the old-vs-new
-# profiling micro-benchmark deltas. `make bench` refuses to overwrite a
-# record whose recorded command no longer matches the built flags
-# (scripts/bench_guard.sh); pass FORCE=1 to regenerate intentionally.
+# compressed trace-tier ratio); `make bench-shard` regenerates
+# BENCH_shard.json (the shard tier's scaling curve at 1/2/4/8 workers plus
+# the persistent study cache's warm-vs-cold win); `make bench-compare`
+# prints the old-vs-new profiling micro-benchmark deltas. Every bench-*
+# record target refuses to overwrite a record whose recorded command no
+# longer matches the built flags (scripts/bench_guard.sh); pass FORCE=1 to
+# regenerate intentionally.
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke serve-smoke clean
+.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke serve-smoke clean
 
 all: build
 
@@ -48,7 +51,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke serve-smoke
+ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke serve-smoke
 
 # serve-smoke boots the experiment API server (-serve-api) on an ephemeral
 # port and proves the service contract end to end: POST /v1/run renders
@@ -106,6 +109,9 @@ bench-compare-smoke:
 # pass per application), both serial so the comparison is pure compute.
 # Compare total_wall_ns between the two elements for the one-pass speedup.
 bench-onepass:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_onepass.json \
+		"capsim -experiment fig7 -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_legacy.json" \
+		"capsim -experiment fig7 -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_onepass.json"
 	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_legacy.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_onepass.json >/dev/null
 	{ printf '[\n'; cat /tmp/capsim_bench_legacy.json; printf ',\n'; \
@@ -120,6 +126,11 @@ bench-onepass:
 # previous default) against event/onepass (the new default) for the headline
 # event-engine speedup.
 bench-queue:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_queue.json \
+		"capsim -experiment fig10 -parallel 1 -onepass=false -queue-engine scan -bench-json /tmp/capsim_bench_q_scan_legacy.json" \
+		"capsim -experiment fig10 -parallel 1 -onepass=true -queue-engine scan -bench-json /tmp/capsim_bench_q_scan_onepass.json" \
+		"capsim -experiment fig10 -parallel 1 -onepass=false -queue-engine event -bench-json /tmp/capsim_bench_q_event_legacy.json" \
+		"capsim -experiment fig10 -parallel 1 -onepass=true -queue-engine event -bench-json /tmp/capsim_bench_q_event_onepass.json"
 	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=false -queue-engine scan -bench-json /tmp/capsim_bench_q_scan_legacy.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=true -queue-engine scan -bench-json /tmp/capsim_bench_q_scan_onepass.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -onepass=false -queue-engine event -bench-json /tmp/capsim_bench_q_event_legacy.json >/dev/null
@@ -150,6 +161,11 @@ bench-queue-smoke:
 # disabled-mode pair must be within noise (<2%) of the seed, which is the
 # subsystem's "zero-overhead when off" contract.
 bench-obs:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_obs.json \
+		"capsim -experiment fig7 -parallel 1 -bench-json /tmp/capsim_bench_obs_f7_off.json" \
+		"capsim -experiment fig7 -parallel 1 -obs -trace-out /tmp/capsim_obs_f7.trace.json -bench-json /tmp/capsim_bench_obs_f7_on.json" \
+		"capsim -experiment fig10 -parallel 1 -bench-json /tmp/capsim_bench_obs_f10_off.json" \
+		"capsim -experiment fig10 -parallel 1 -obs -trace-out /tmp/capsim_obs_f10.trace.json -bench-json /tmp/capsim_bench_obs_f10_on.json"
 	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -bench-json /tmp/capsim_bench_obs_f7_off.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -obs -trace-out /tmp/capsim_obs_f7.trace.json -bench-json /tmp/capsim_bench_obs_f7_on.json >/dev/null 2>/dev/null
 	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -bench-json /tmp/capsim_bench_obs_f10_off.json >/dev/null
@@ -187,6 +203,9 @@ bench-obs-smoke:
 # compressed chunk bytes over their raw struct equivalent (the trace-tier
 # shrink), and trace_bytes the resident store ceiling.
 bench-joint:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_joint.json \
+		"capsim -experiment ablation-combined -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_joint_legacy.json" \
+		"capsim -experiment ablation-combined -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_joint_onepass.json"
 	$(GO) run ./cmd/capsim -experiment ablation-combined -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_joint_legacy.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment ablation-combined -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_joint_onepass.json >/dev/null
 	{ printf '[\n'; cat /tmp/capsim_bench_joint_legacy.json; printf ',\n'; \
@@ -206,6 +225,30 @@ bench-joint-smoke:
 		{ echo "joint kernel rendered differently from independent machines"; exit 1; }
 	@echo "bench-joint smoke ok (joint kernel byte-identical to independent machines)"
 
+# bench-shard writes BENCH_shard.json (scripts/bench_shard.sh): the full
+# registry measured unsharded from cold, under -shard-coordinator 1/2/4/8
+# (each element's shard_wall_ns is the worker phase, total_wall_ns the
+# merge), and unsharded against the warm persistent study cache the last
+# shard leg left behind. The script fails if the warm leg does not beat
+# the cold one — the persistent cache's reason to exist.
+bench-shard:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_shard.json \
+		"capsim -experiment all -parallel 1 -bench-json /tmp/capsim_bench_shard/cold.json" \
+		"capsim -experiment all -parallel 1 -shard-coordinator 1 -study-cache /tmp/capsim_bench_shard/cache -bench-json /tmp/capsim_bench_shard/shard1.json" \
+		"capsim -experiment all -parallel 1 -shard-coordinator 2 -study-cache /tmp/capsim_bench_shard/cache -bench-json /tmp/capsim_bench_shard/shard2.json" \
+		"capsim -experiment all -parallel 1 -shard-coordinator 4 -study-cache /tmp/capsim_bench_shard/cache -bench-json /tmp/capsim_bench_shard/shard4.json" \
+		"capsim -experiment all -parallel 1 -shard-coordinator 8 -study-cache /tmp/capsim_bench_shard/cache -bench-json /tmp/capsim_bench_shard/shard8.json" \
+		"capsim -experiment all -parallel 1 -study-cache /tmp/capsim_bench_shard/cache -bench-json /tmp/capsim_bench_shard/warm.json"
+	@GO="$(GO)" sh scripts/bench_shard.sh
+
+# bench-shard-smoke is the ci-gated variant (scripts/shard_smoke.sh): a
+# tiny-budget fig10 proves static shards and coordinator mode both merge
+# byte-identical to an unsharded baseline, and that the merge served its
+# study rows from the shards' persistent cache (memo.persist_hits > 0,
+# zero misses, in the merge's run manifest).
+bench-shard-smoke:
+	@GO="$(GO)" sh scripts/shard_smoke.sh
+
 clean:
 	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
 	  /tmp/capsim_bench_obs_f7_off.json /tmp/capsim_bench_obs_f7_on.json \
@@ -220,4 +263,4 @@ clean:
 	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt \
 	  /tmp/capsim_bench_joint_legacy.json /tmp/capsim_bench_joint_onepass.json \
 	  /tmp/capsim_joint_one.txt /tmp/capsim_joint_leg.txt
-	rm -rf /tmp/capsim_serve_smoke
+	rm -rf /tmp/capsim_serve_smoke /tmp/capsim_shard_smoke /tmp/capsim_bench_shard

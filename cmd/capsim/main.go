@@ -99,6 +99,12 @@ type benchReport struct {
 	TraceBytes    int64   `json:"trace_bytes"`
 	TraceRawBytes int64   `json:"trace_raw_bytes"`
 	TraceRatio    float64 `json:"trace_ratio"`
+	// Shard coordinator runs: worker count and the wall time the worker
+	// phase took before the merge. The per-experiment records above then
+	// measure only the merge (every row a warm-cache hit), so end-to-end
+	// wall is shard_wall_ns + total_wall_ns.
+	Shards      int   `json:"shards,omitempty"`
+	ShardWallNS int64 `json:"shard_wall_ns,omitempty"`
 }
 
 // main is a thin shell around run: all error paths return through run's
@@ -143,6 +149,11 @@ func run() error {
 		onepass     = flag.Bool("onepass", true, "profile over the shared materialized trace in one pass (false = legacy per-configuration streams; output is identical either way)")
 		traceBudget = flag.Int64("trace-budget", 0, "materialized-trace byte ceiling; cold stores evict and regenerate on demand (0 = unbounded; output is identical at any setting)")
 		queueEngine = flag.String("queue-engine", "event", "issue-queue engine: 'event' (event-driven wakeup/select) or 'scan' (per-cycle window scan); output is identical either way")
+		studyCache  = flag.String("study-cache", "", "persistent content-addressed study cache directory; repeated runs, CI and shard workers reuse finished profiling rows instead of recomputing (output is identical with or without)")
+		shardSpec   = flag.String("shard", "", "run as static shard i/N: compute and publish only the study rows bucket i owns, render nothing (requires -study-cache)")
+		shardCoord  = flag.Int("shard-coordinator", 0, "spawn N worker processes over the work-claiming protocol, then render the merge (requires -study-cache; output is byte-identical to an unsharded run)")
+		shardBucket = flag.Int("shard-buckets", 0, "shard-coordinator: bucket-space size (default 4N, so fast workers absorb slow workers' tail)")
+		shardClaim  = flag.String("shard-claim", "", "run as dynamic shard worker claiming buckets from this coordinator URL until exhausted (requires -study-cache)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
 		obsOn       = flag.Bool("obs", false, "enable telemetry counters (implied by -metrics-out and -serve)")
@@ -178,6 +189,14 @@ func run() error {
 		return usageErr("%v", err)
 	}
 	ooo.SetDefaultEngine(eng)
+	if *studyCache != "" {
+		if err := experiments.SetStudyCacheDir(*studyCache); err != nil {
+			return fmt.Errorf("-study-cache: %w", err)
+		}
+	}
+	if (*shardSpec != "" && (*shardCoord > 0 || *shardClaim != "")) || (*shardCoord > 0 && *shardClaim != "") {
+		return usageErr("-shard, -shard-coordinator and -shard-claim are mutually exclusive")
+	}
 
 	// Telemetry switches. Counters are free when off; -metrics-out and
 	// -serve imply them (a manifest or live endpoint full of zeros would
@@ -261,6 +280,44 @@ func run() error {
 		ids = experiments.IDs()
 	}
 
+	// Shard modes. Workers (-shard, -shard-claim) publish owned study rows
+	// to the shared study cache and render nothing; the coordinator waits for
+	// its workers and then falls through to the normal render loop below —
+	// which IS the merge: every row hits the warm cache and stdout is
+	// byte-identical to a single-process run.
+	if *shardClaim != "" {
+		return shardClaimMode(*shardClaim, ids, cfg)
+	}
+	if *shardSpec != "" {
+		return shardWorkerMode(*shardSpec, ids, cfg)
+	}
+	var shardWall time.Duration
+	if *shardCoord > 0 {
+		workerParallel := *parallel / *shardCoord
+		if workerParallel < 1 {
+			workerParallel = 1
+		}
+		commonArgs := []string{
+			"-experiment", *experiment,
+			"-seed", fmt.Sprint(*seed),
+			"-cache-refs", fmt.Sprint(*cacheRefs),
+			"-cache-warm", fmt.Sprint(*cacheWarm),
+			"-queue-instrs", fmt.Sprint(*queueInstrs),
+			"-interval", fmt.Sprint(*interval),
+			"-switch-penalty", fmt.Sprint(*penalty),
+			"-feature", fmt.Sprint(*feature),
+			fmt.Sprintf("-onepass=%v", *onepass),
+			"-queue-engine", *queueEngine,
+			"-trace-budget", fmt.Sprint(*traceBudget),
+			"-study-cache", *studyCache,
+		}
+		shardStart := time.Now()
+		if err := shardCoordinate(*shardCoord, *shardBucket, workerParallel, commonArgs); err != nil {
+			return err
+		}
+		shardWall = time.Since(shardStart)
+	}
+
 	report := benchReport{
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		Command:     benchCommand(),
@@ -273,6 +330,8 @@ func run() error {
 		Seed:        cfg.Seed,
 		CacheRefs:   cfg.CacheRefs,
 		QueueInstrs: cfg.QueueInstrs,
+		Shards:      *shardCoord,
+		ShardWallNS: shardWall.Nanoseconds(),
 	}
 	manifest := obs.NewManifest()
 	manifest.Flags = flagMap()

@@ -32,17 +32,23 @@ func intervalCandidates(app string) (sizes []int, err error) {
 }
 
 // runIntervalPolicy drives a QueueMachine restricted to the two candidate
-// sizes under the given policy and returns the aggregate result.
-func runIntervalPolicy(cfg Config, app string, sizes []int, p core.Policy, intervals int64) (core.RunResult, error) {
-	b, err := workload.ByName(app)
-	if err != nil {
-		return core.RunResult{}, err
-	}
-	m, err := core.NewQueueMachine(b, cfg.Seed, sizes, 0, cfg.PenaltyCycles, cfg.Feature)
-	if err != nil {
-		return core.RunResult{}, err
-	}
-	return core.RunQueue(m, p, intervals, cfg.IntervalInstrs, false), nil
+// sizes under the given policy and returns the aggregate result. label names
+// the policy canonically ("fixed:0", "interval-adaptive") — it is the
+// policy's identity in the study-row key, so each (app, sizes, penalty,
+// policy) run is one shard-partitionable, persistently reusable row.
+func runIntervalPolicy(cfg Config, app string, sizes []int, label string, p core.Policy, intervals int64) (core.RunResult, error) {
+	return policyRow(app, cfg.Seed, sizes, label, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature,
+		func() (core.RunResult, error) {
+			b, err := workload.ByName(app)
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			m, err := core.NewQueueMachine(b, cfg.Seed, sizes, 0, cfg.PenaltyCycles, cfg.Feature)
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			return core.RunQueue(m, p, intervals, cfg.IntervalInstrs, false), nil
+		})
 }
 
 // oracleTPI computes the per-interval oracle: the TPI of always running the
@@ -93,7 +99,7 @@ func ablationInterval(ctx context.Context, cfg Config) (Result, error) {
 		// Best fixed: run both configurations to completion, keep the
 		// better (the process-level choice between the two).
 		fixed, err := sweep.RunCtx(ctx, len(sizes), func(i int) (float64, error) {
-			r, err := runIntervalPolicy(cfg, app, sizes, core.FixedPolicy{Config: i}, intervals)
+			r, err := runIntervalPolicy(cfg, app, sizes, fmt.Sprintf("fixed:%d", i), core.FixedPolicy{Config: i}, intervals)
 			return r.TPI, err
 		})
 		if err != nil {
@@ -105,7 +111,7 @@ func ablationInterval(ctx context.Context, cfg Config) (Result, error) {
 				fixedBest = v
 			}
 		}
-		adaptive, err := runIntervalPolicy(cfg, app, sizes,
+		adaptive, err := runIntervalPolicy(cfg, app, sizes, "interval-adaptive",
 			&core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
 		if err != nil {
 			return row{}, err
@@ -151,7 +157,7 @@ func ablationSwitch(ctx context.Context, cfg Config) (Result, error) {
 	runs, err := sweep.RunCtx(ctx, len(penalties), func(i int) (core.RunResult, error) {
 		c := cfg
 		c.PenaltyCycles = penalties[i]
-		return runIntervalPolicy(c, "vortex", sizes, &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
+		return runIntervalPolicy(c, "vortex", sizes, "interval-adaptive", &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
 	})
 	if err != nil {
 		return Result{}, err
@@ -192,7 +198,9 @@ func ablationIncrement(ctx context.Context, cfg Config) (Result, error) {
 	// Sweep the (application x design) grid; ProfileCacheTPI additionally
 	// parallelizes its boundaries internally. Column 0 is the paper's 8KB
 	// 2-way design, column 1 the rejected 4KB direct-mapped alternative
-	// (same 64 KB maximum L1: 16 increments of 4 KB).
+	// (same 64 KB maximum L1: 16 increments of 4 KB). Column 0 shares its
+	// study rows with the fig7-9 cache study — a warm persistent cache pays
+	// across drivers.
 	grid, err := sweep.GridCtx(ctx, len(apps), 2, func(a, d int) (float64, error) {
 		b, err := workload.ByName(apps[a])
 		if err != nil {
@@ -202,11 +210,11 @@ func ablationIncrement(ctx context.Context, cfg Config) (Result, error) {
 		if d == 1 {
 			p, maxB = alt, 16
 		}
-		tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, p, maxB, cfg.CacheWarmRefs, cfg.CacheRefs)
+		row, err := cacheProfileRow(b, cfg.Seed, p, maxB, cfg.CacheWarmRefs, cfg.CacheRefs)
 		if err != nil {
 			return 0, err
 		}
-		return tpi[core.SelectBestIndex(tpi)], nil
+		return row.TPI[core.SelectBestIndex(row.TPI)], nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -242,8 +250,10 @@ func ablationPower(ctx context.Context, cfg Config) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tpi, _, err := core.ProfileCacheTPI(b, cfg.Seed, cfg.CacheParams, core.PaperMaxBoundary, cfg.CacheWarmRefs, cfg.CacheRefs)
-		return tpi, err
+		// Same row as the fig7-9 cache study (shared key): a warm
+		// persistent cache serves this driver without recomputation.
+		row, err := cacheProfileRow(b, cfg.Seed, cfg.CacheParams, core.PaperMaxBoundary, cfg.CacheWarmRefs, cfg.CacheRefs)
+		return row.TPI, err
 	})
 	if err != nil {
 		return Result{}, err

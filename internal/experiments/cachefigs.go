@@ -42,7 +42,8 @@ func cacheStudyKey(cfg Config) string {
 }
 
 // runCacheStudy profiles every application at every boundary. Applications —
-// 21 for the paper's setup — fan out across the sweep pool; within each
+// 21 for the paper's setup — fan out across the sweep pool as study rows
+// (cacheProfileRow: shard-partitionable, persistently reusable); within each
 // application core.ProfileCacheTPI evaluates the whole boundary family in one
 // pass over the shared materialized trace (or, with -onepass=false, sweeps
 // the 8 boundaries as nested jobs). Results land at their slice index, so the
@@ -55,17 +56,15 @@ func runCacheStudy(ctx context.Context, cfg Config) (*cacheStudy, error) {
 			tpiMiss: map[string][]float64{},
 		}
 		nB := core.PaperMaxBoundary
-		type cell struct{ tpi, miss []float64 }
-		rows, err := sweep.RunCtx(ctx, len(s.apps), func(a int) (cell, error) {
-			tpi, miss, err := core.ProfileCacheTPI(s.apps[a], cfg.Seed, cfg.CacheParams, nB, cfg.CacheWarmRefs, cfg.CacheRefs)
-			return cell{tpi, miss}, err
+		rows, err := sweep.RunCtx(ctx, len(s.apps), func(a int) (cacheRow, error) {
+			return cacheProfileRow(s.apps[a], cfg.Seed, cfg.CacheParams, nB, cfg.CacheWarmRefs, cfg.CacheRefs)
 		})
 		if err != nil {
 			return nil, err
 		}
 		for a, b := range s.apps {
-			s.tpi[b.Name] = rows[a].tpi
-			s.tpiMiss[b.Name] = rows[a].miss
+			s.tpi[b.Name] = rows[a].TPI
+			s.tpiMiss[b.Name] = rows[a].Miss
 		}
 		// Best conventional configuration: smallest workload-average TPI.
 		bestK, bestAvg := 0, 0.0

@@ -68,8 +68,13 @@ func ablationCombined(ctx context.Context, cfg Config) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.ProfileCombined(ctx, b, cfg.Seed, qs, cfg.CacheParams, core.PaperMaxBoundary,
-			points, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
+		// One study row per application: the whole joint grid pass is the
+		// unit of shard distribution and persistent reuse.
+		return combinedRow(apps[a], cfg.Seed, points, cfg.CacheParams, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature,
+			func() ([]float64, error) {
+				return core.ProfileCombined(ctx, b, cfg.Seed, qs, cfg.CacheParams, core.PaperMaxBoundary,
+					points, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
+			})
 	})
 	if err != nil {
 		return Result{}, err

@@ -69,6 +69,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// CanonicalKey canonicalizes the render-determining fields of the
+// configuration into a stable string: everything that changes rendered bytes
+// is in, everything render-neutral (workers, onepass, queue engine, shard,
+// study cache) is out. The server's response cache and the shard/persist row
+// keys both build on this discipline; the server prefixes the experiment id.
+func (c Config) CanonicalKey() string {
+	return fmt.Sprintf("seed=%d|warm=%d|refs=%d|qi=%d|iv=%d|pen=%d|f=%g|cp=%+v",
+		c.Seed, c.CacheWarmRefs, c.CacheRefs, c.QueueInstrs,
+		c.IntervalInstrs, c.PenaltyCycles, float64(c.Feature), c.CacheParams)
+}
+
 // Validate reports whether the configuration is runnable.
 func (c Config) Validate() error {
 	switch {

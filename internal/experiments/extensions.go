@@ -46,24 +46,29 @@ func ablationTLB(ctx context.Context, cfg Config) (Result, error) {
 			return 0, err
 		}
 		g, backup := j%p.Groups+1, j >= p.Groups
-		tr := trace.RefSourceFor(b, cfg.Seed)
-		var tb *tlb.TLB
-		if backup {
-			tb, err = tlb.New(p, g)
-		} else {
-			tb, err = tlb.NewWithoutBackup(p, g)
-		}
-		if err != nil {
-			return 0, err
-		}
-		for i := int64(0); i < cfg.CacheWarmRefs; i++ {
-			tb.Lookup(tr.Next().Addr)
-		}
-		tb.ResetStats()
-		for i := int64(0); i < cfg.CacheRefs; i++ {
-			tb.Lookup(tr.Next().Addr)
-		}
-		return tlb.Evaluate(p, g, tb.Stats()), nil
+		key := fmt.Sprintf("tlb|seed=%d|warm=%d|refs=%d|p=%+v|backup=%v|groups=%d|app=%s",
+			cfg.Seed, cfg.CacheWarmRefs, cfg.CacheRefs, p, backup, g, b.Name)
+		return scalarRow(key, func() (float64, error) {
+			tr := trace.RefSourceFor(b, cfg.Seed)
+			var tb *tlb.TLB
+			var err error
+			if backup {
+				tb, err = tlb.New(p, g)
+			} else {
+				tb, err = tlb.NewWithoutBackup(p, g)
+			}
+			if err != nil {
+				return 0, err
+			}
+			for i := int64(0); i < cfg.CacheWarmRefs; i++ {
+				tb.Lookup(tr.Next().Addr)
+			}
+			tb.ResetStats()
+			for i := int64(0); i < cfg.CacheRefs; i++ {
+				tb.Lookup(tr.Next().Addr)
+			}
+			return tlb.Evaluate(p, g, tb.Stats()), nil
+		})
 	})
 	if err != nil {
 		return Result{}, err
@@ -111,19 +116,23 @@ func ablationBpred(ctx context.Context, cfg Config) (Result, error) {
 	// branch generator: sweep the grid and assemble rows by index.
 	statics := []int{200, 800, 1600, 3200}
 	grid, err := sweep.GridCtx(ctx, len(statics), len(sizes), func(s, i int) (float64, error) {
-		pr := bpred.MustNew(p, sizes[i])
-		g := bpred.NewBranchGen(cfg.Seed, statics[s], 0.3)
-		const warm, measure = 120_000, 200_000
-		for j := 0; j < warm; j++ {
-			pc, taken := g.Next()
-			pr.Predict(pc, taken)
-		}
-		pr.ResetStats()
-		for j := 0; j < measure; j++ {
-			pc, taken := g.Next()
-			pr.Predict(pc, taken)
-		}
-		return bpred.Evaluate(p, sizes[i], pr.Stats()), nil
+		key := fmt.Sprintf("bpred|seed=%d|p=%+v|size=%d|static=%d",
+			cfg.Seed, p, sizes[i], statics[s])
+		return scalarRow(key, func() (float64, error) {
+			pr := bpred.MustNew(p, sizes[i])
+			g := bpred.NewBranchGen(cfg.Seed, statics[s], 0.3)
+			const warm, measure = 120_000, 200_000
+			for j := 0; j < warm; j++ {
+				pc, taken := g.Next()
+				pr.Predict(pc, taken)
+			}
+			pr.ResetStats()
+			for j := 0; j < measure; j++ {
+				pc, taken := g.Next()
+				pr.Predict(pc, taken)
+			}
+			return bpred.Evaluate(p, sizes[i], pr.Stats()), nil
+		})
 	})
 	if err != nil {
 		return Result{}, err

@@ -18,13 +18,17 @@ func init() {
 // over the application's stream and returns per-configuration, per-interval
 // TPI for intervals [0, n) — one shared-stream pass for the whole family
 // under -onepass, independent machines fanned across the sweep pool
-// otherwise (see core.ProfileQueueTraces).
+// otherwise (see core.ProfileQueueTraces). The whole family pass is one
+// study row (traceRow): shard-partitionable and persistently reusable.
 func intervalTraces(ctx context.Context, cfg Config, app string, entries []int, n int64) ([][]float64, error) {
 	b, err := workload.ByName(app)
 	if err != nil {
 		return nil, err
 	}
-	return core.ProfileQueueTraces(ctx, b, cfg.Seed, entries, n, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
+	return traceRow(b, cfg.Seed, entries, n, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature,
+		func() ([][]float64, error) {
+			return core.ProfileQueueTraces(ctx, b, cfg.Seed, entries, n, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
+		})
 }
 
 // snapshotFigure builds one snapshot panel comparing two configurations over

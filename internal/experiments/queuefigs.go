@@ -49,7 +49,7 @@ func runQueueStudy(ctx context.Context, cfg Config) (*queueStudy, error) {
 			tpi:   map[string][]float64{},
 		}
 		rows, err := sweep.RunCtx(ctx, len(s.apps), func(a int) ([]float64, error) {
-			return core.ProfileQueueTPI(s.apps[a], cfg.Seed, s.sizes, cfg.QueueInstrs, cfg.Feature)
+			return queueProfileRow(s.apps[a], cfg.Seed, s.sizes, cfg.QueueInstrs, cfg.Feature)
 		})
 		if err != nil {
 			return nil, err

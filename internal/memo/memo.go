@@ -69,11 +69,12 @@ type Memo[K comparable, V any] struct {
 // server) set a cap so the memo cannot grow without bound; one-shot CLI runs
 // never call it and keep the original grow-only semantics.
 //
-// SetCap is intended to be called before the memo is populated: entries that
-// were inserted while the memo was unbounded carry no recency information
-// and are never evicted (call Reset first to bound those too). Evicting an
-// entry whose computation is still in flight is safe — in-flight callers
-// complete against the orphaned entry; later callers recompute.
+// Recency is tracked from the memo's first insert, so applying a cap to an
+// already-populated memo evicts down to the bound immediately, in
+// least-recently-used order over the accesses that actually happened (it
+// used to be a documented caveat that pre-cap entries were uncollectable).
+// Evicting an entry whose computation is still in flight is safe — in-flight
+// callers complete against the orphaned entry; later callers recompute.
 func (c *Memo[K, V]) SetCap(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -82,37 +83,36 @@ func (c *Memo[K, V]) SetCap(n int) {
 		return
 	}
 	c.cap = n
-	if c.lru == nil {
-		c.lru = list.New()
-	}
 	c.evictLocked()
 }
 
 // slot returns (creating if needed) the entry for k. The map lock is held
-// only for the lookup, never during computation.
+// only for the lookup, never during computation. Recency is maintained
+// unconditionally — unbounded memos pay one list node per entry so that a
+// later SetCap can evict in true LRU order.
 func (c *Memo[K, V]) slot(k K) *entry[V] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil {
 		c.m = make(map[K]*entry[V])
 	}
+	if c.lru == nil {
+		c.lru = list.New()
+	}
 	e, ok := c.m[k]
 	if !ok {
 		e = &entry[V]{}
 		c.m[k] = e
-		if c.lru != nil {
-			e.elem = c.lru.PushFront(k)
-			c.evictLocked()
-		}
+		e.elem = c.lru.PushFront(k)
+		c.evictLocked()
 	} else if e.elem != nil {
 		c.lru.MoveToFront(e.elem)
 	}
 	return e
 }
 
-// evictLocked drops least-recently-used entries until the cap is respected.
-// Only entries with recency information (inserted while a cap was set) are
-// candidates; c.mu must be held.
+// evictLocked drops least-recently-used entries until the cap is respected;
+// c.mu must be held.
 func (c *Memo[K, V]) evictLocked() {
 	if c.cap <= 0 || c.lru == nil {
 		return

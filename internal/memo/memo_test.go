@@ -167,6 +167,72 @@ func TestSetCapDeterministicEviction(t *testing.T) {
 	}
 }
 
+// TestSetCapOnPopulatedEvictsImmediately locks the bugfix for capping an
+// already-populated memo: entries inserted before SetCap carry recency from
+// their actual accesses, so the cap applies immediately and evicts in true
+// LRU order (it used to be a doc-comment caveat that pre-cap entries were
+// permanently uncollectable).
+func TestSetCapOnPopulatedEvictsImmediately(t *testing.T) {
+	var m Memo[int, int]
+	for k := 1; k <= 5; k++ {
+		m.Get(k, func() int { return k })
+	}
+	m.Get(2, func() int { return 2 }) // touch 2: recency is now 2,5,4,3,1
+	m.SetCap(3)
+	if m.Len() != 3 {
+		t.Fatalf("Len %d immediately after SetCap(3) on populated memo, want 3", m.Len())
+	}
+	for _, k := range []int{2, 4, 5} {
+		if !m.Has(k) {
+			t.Errorf("key %d evicted despite being among the 3 most recent", k)
+		}
+	}
+	// Tightening the cap keeps evicting from the least-recent end: 4, then 5.
+	m.SetCap(2)
+	if m.Has(4) || !m.Has(2) || !m.Has(5) {
+		t.Errorf("SetCap(2) should evict 4 next (have 2=%v 4=%v 5=%v)",
+			m.Has(2), m.Has(4), m.Has(5))
+	}
+	m.SetCap(1)
+	if m.Has(5) || !m.Has(2) {
+		t.Errorf("SetCap(1) should leave only the most recent key 2")
+	}
+}
+
+// TestForgetRacesRegeneration drives Forget against singleflight
+// regeneration of the same key — the cancelled-run-poisoning path: one
+// request's context error is forgotten while other requests are already
+// recomputing the entry. Run under -race; the invariant is no torn state and
+// every Do observing either its own or a concurrent computation's value.
+func TestForgetRacesRegeneration(t *testing.T) {
+	var m Memo[int, int]
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if w%2 == 0 {
+					v, err := m.Do(1, func() (int, error) { return 11, nil })
+					if err != nil || v != 11 {
+						t.Errorf("Do during Forget race: %d %v", v, err)
+						return
+					}
+				} else {
+					m.Forget(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The memo must still be fully functional afterwards.
+	if v := m.Get(1, func() int { return 11 }); v != 11 {
+		t.Fatalf("post-race Get: %d", v)
+	}
+}
+
 // TestUncappedUnchanged: without SetCap, the memo keeps its original
 // grow-only behaviour — the one-shot CLI path is untouched by the cap.
 func TestUncappedUnchanged(t *testing.T) {

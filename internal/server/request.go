@@ -147,9 +147,7 @@ func (r *RunRequest) resolve(base experiments.Config) (experiments.Config, error
 // central contract) is deliberately out, so requests differing only in
 // execution strategy share one cached response.
 func cacheKey(id string, cfg experiments.Config) string {
-	return fmt.Sprintf("%s|seed=%d|warm=%d|refs=%d|qi=%d|iv=%d|pen=%d|f=%g|cp=%+v",
-		id, cfg.Seed, cfg.CacheWarmRefs, cfg.CacheRefs, cfg.QueueInstrs,
-		cfg.IntervalInstrs, cfg.PenaltyCycles, float64(cfg.Feature), cfg.CacheParams)
+	return id + "|" + cfg.CanonicalKey()
 }
 
 // ResolvedConfig echoes the effective run budgets in the response, so a

@@ -1,0 +1,251 @@
+// Shard coordinator: the minimal work-claiming HTTP protocol behind
+// `capsim -shard-coordinator N`.
+//
+// The coordinator owns a fixed bucket space (M buckets, M >= worker count so
+// fast workers absorb slow workers' tail) and hands buckets out on demand:
+//
+//	POST /v1/shard/claim   {"worker":"w0"}          -> {"bucket":3,"buckets":16}
+//	                                                   or 204 when exhausted
+//	POST /v1/shard/done    {"worker":"w0","bucket":3} -> {"remaining":12}
+//	GET  /v1/shard/status                            -> progress snapshot
+//
+// Workers loop claim -> run every experiment as shard bucket/M (publishing
+// owned study rows to the shared persistent store) -> done, until claim
+// returns 204. The coordinator never sees a render: the persistent store is
+// the data plane, this protocol is control plane only. Crash tolerance is
+// delegated to the merge contract — a bucket claimed by a worker that died
+// is simply recomputed during the merge run — so the coordinator needs no
+// lease/requeue machinery.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"capsim/internal/obs"
+)
+
+var (
+	obsShardClaims   = obs.NewCounter("server.shard_claims")
+	obsShardDones    = obs.NewCounter("server.shard_dones")
+	obsShardRequests = obs.NewCounter("server.shard_requests")
+)
+
+// ClaimResponse is the 200 body of POST /v1/shard/claim.
+type ClaimResponse struct {
+	Bucket  int `json:"bucket"`  // 0-based bucket to run as -shard bucket/buckets
+	Buckets int `json:"buckets"` // total bucket space
+}
+
+// doneRequest is the body of POST /v1/shard/done (claim shares the shape;
+// its bucket field is ignored there).
+type doneRequest struct {
+	Worker string `json:"worker"`
+	Bucket int    `json:"bucket"`
+}
+
+// ShardStatus is the GET /v1/shard/status body.
+type ShardStatus struct {
+	Buckets   int `json:"buckets"`
+	Claimed   int `json:"claimed"`
+	Done      int `json:"done"`
+	Remaining int `json:"remaining"` // buckets not yet claimed
+}
+
+// ShardCoordinator is the control-plane service. Create with
+// NewShardCoordinator, attach with Handler (tests) or Start, stop with
+// Shutdown. All methods are safe for concurrent use.
+type ShardCoordinator struct {
+	buckets int
+
+	mu      sync.Mutex
+	claimed []string // worker name per bucket, "" = unclaimed
+	done    []bool
+	next    int // lowest never-claimed bucket
+	nDone   int
+
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	listener net.Listener
+	srvDone  chan struct{}
+}
+
+// NewShardCoordinator builds a coordinator over a bucket space of size
+// buckets (>= 1).
+func NewShardCoordinator(buckets int) (*ShardCoordinator, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("server: shard bucket count %d, want >= 1", buckets)
+	}
+	c := &ShardCoordinator{
+		buckets: buckets,
+		claimed: make([]string, buckets),
+		done:    make([]bool, buckets),
+		srvDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shard/claim", c.handleClaim)
+	mux.HandleFunc("POST /v1/shard/done", c.handleDone)
+	mux.HandleFunc("GET /v1/shard/status", c.handleStatus)
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *ShardCoordinator) Handler() http.Handler { return c.mux }
+
+// Start binds addr and serves in a background goroutine, returning the bound
+// address (use "127.0.0.1:0" for an ephemeral port).
+func (c *ShardCoordinator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	c.listener = ln
+	c.httpSrv = &http.Server{Handler: c.mux}
+	go func() {
+		c.httpSrv.Serve(ln)
+		close(c.srvDone)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown closes the listener and waits for the accept loop to exit.
+func (c *ShardCoordinator) Shutdown() error {
+	if c.httpSrv == nil {
+		return nil
+	}
+	err := c.httpSrv.Close()
+	<-c.srvDone
+	return err
+}
+
+// Status returns a progress snapshot.
+func (c *ShardCoordinator) Status() ShardStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *ShardCoordinator) statusLocked() ShardStatus {
+	nClaimed := 0
+	for _, w := range c.claimed {
+		if w != "" {
+			nClaimed++
+		}
+	}
+	return ShardStatus{
+		Buckets:   c.buckets,
+		Claimed:   nClaimed,
+		Done:      c.nDone,
+		Remaining: c.buckets - c.next,
+	}
+}
+
+// handleClaim hands out the lowest never-claimed bucket, 204 when the space
+// is exhausted. Buckets are never reissued — see the package comment for why
+// crash tolerance lives in the merge, not here.
+func (c *ShardCoordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	obsShardRequests.Inc1()
+	var req doneRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid claim body: %v", err))
+		return
+	}
+	c.mu.Lock()
+	if c.next >= c.buckets {
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	b := c.next
+	c.next++
+	worker := req.Worker
+	if worker == "" {
+		worker = r.RemoteAddr
+	}
+	c.claimed[b] = worker
+	c.mu.Unlock()
+	obsShardClaims.Inc1()
+	writeJSON(w, http.StatusOK, ClaimResponse{Bucket: b, Buckets: c.buckets})
+}
+
+// handleDone records a finished bucket (idempotent).
+func (c *ShardCoordinator) handleDone(w http.ResponseWriter, r *http.Request) {
+	obsShardRequests.Inc1()
+	var req doneRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid done body: %v", err))
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Bucket < 0 || req.Bucket >= c.buckets {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bucket %d out of range [0,%d)", req.Bucket, c.buckets))
+		return
+	}
+	if c.claimed[req.Bucket] == "" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("bucket %d was never claimed", req.Bucket))
+		return
+	}
+	if !c.done[req.Bucket] {
+		c.done[req.Bucket] = true
+		c.nDone++
+		obsShardDones.Inc1()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Remaining int `json:"remaining"`
+	}{c.buckets - c.nDone})
+}
+
+// handleStatus serves the progress snapshot.
+func (c *ShardCoordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	obsShardRequests.Inc1()
+	c.mu.Lock()
+	st := c.statusLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ClaimBucket is the worker-side client of POST /v1/shard/claim against
+// baseURL (e.g. "http://127.0.0.1:8419"). ok=false means the bucket space is
+// exhausted and the worker should exit.
+func ClaimBucket(baseURL, worker string) (claim ClaimResponse, ok bool, err error) {
+	body, _ := json.Marshal(doneRequest{Worker: worker})
+	resp, err := http.Post(baseURL+"/v1/shard/claim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ClaimResponse{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return ClaimResponse{}, false, nil
+	case http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(&claim); err != nil {
+			return ClaimResponse{}, false, fmt.Errorf("server: decode claim: %w", err)
+		}
+		return claim, true, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return ClaimResponse{}, false, fmt.Errorf("server: claim: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// ReportDone is the worker-side client of POST /v1/shard/done.
+func ReportDone(baseURL, worker string, bucket int) error {
+	body, _ := json.Marshal(doneRequest{Worker: worker, Bucket: bucket})
+	resp, err := http.Post(baseURL+"/v1/shard/done", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("server: done: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func startCoordinator(t *testing.T, buckets int) (string, *ShardCoordinator) {
+	t.Helper()
+	c, err := NewShardCoordinator(buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL, c
+}
+
+func TestShardClaimDrainsBucketSpace(t *testing.T) {
+	url, c := startCoordinator(t, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		claim, ok, err := ClaimBucket(url, "w0")
+		if err != nil || !ok {
+			t.Fatalf("claim %d: ok=%v err=%v", i, ok, err)
+		}
+		if claim.Buckets != 4 {
+			t.Fatalf("claim.Buckets = %d, want 4", claim.Buckets)
+		}
+		if seen[claim.Bucket] {
+			t.Fatalf("bucket %d issued twice", claim.Bucket)
+		}
+		seen[claim.Bucket] = true
+		if err := ReportDone(url, "w0", claim.Bucket); err != nil {
+			t.Fatalf("done %d: %v", claim.Bucket, err)
+		}
+	}
+	// Space exhausted: ok=false, no error.
+	if _, ok, err := ClaimBucket(url, "w0"); ok || err != nil {
+		t.Fatalf("exhausted claim: ok=%v err=%v", ok, err)
+	}
+	st := c.Status()
+	if st.Done != 4 || st.Remaining != 0 || st.Claimed != 4 {
+		t.Errorf("status %+v, want all 4 claimed and done", st)
+	}
+}
+
+// TestShardClaimConcurrent drives many workers claiming at once: every
+// bucket must be issued exactly once across all of them (the partition
+// disjointness the merge relies on, at the protocol layer).
+func TestShardClaimConcurrent(t *testing.T) {
+	const buckets, workers = 32, 8
+	url, c := startCoordinator(t, buckets)
+	var mu sync.Mutex
+	counts := make([]int, buckets)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for {
+				claim, ok, err := ClaimBucket(url, name)
+				if err != nil {
+					t.Errorf("worker %s: %v", name, err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mu.Lock()
+				counts[claim.Bucket]++
+				mu.Unlock()
+				if err := ReportDone(url, name, claim.Bucket); err != nil {
+					t.Errorf("worker %s done %d: %v", name, claim.Bucket, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for b, n := range counts {
+		if n != 1 {
+			t.Errorf("bucket %d issued %d times, want exactly once", b, n)
+		}
+	}
+	if st := c.Status(); st.Done != buckets {
+		t.Errorf("done %d, want %d", st.Done, buckets)
+	}
+}
+
+func TestShardDoneValidation(t *testing.T) {
+	url, _ := startCoordinator(t, 2)
+	// Done on a never-claimed bucket: conflict.
+	if err := ReportDone(url, "w0", 1); err == nil {
+		t.Error("done on unclaimed bucket accepted")
+	}
+	// Out of range: bad request.
+	if err := ReportDone(url, "w0", 7); err == nil {
+		t.Error("out-of-range bucket accepted")
+	}
+	claim, ok, err := ClaimBucket(url, "w0")
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	// Done is idempotent.
+	for i := 0; i < 2; i++ {
+		if err := ReportDone(url, "w0", claim.Bucket); err != nil {
+			t.Fatalf("done (attempt %d): %v", i, err)
+		}
+	}
+}
+
+func TestNewShardCoordinatorValidates(t *testing.T) {
+	if _, err := NewShardCoordinator(0); err == nil {
+		t.Error("bucket count 0 accepted")
+	}
+}
+
+func TestShardCoordinatorStartShutdown(t *testing.T) {
+	c, err := NewShardCoordinator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+	if _, ok, err := ClaimBucket(url, "w0"); !ok || err != nil {
+		t.Fatalf("claim over real listener: ok=%v err=%v", ok, err)
+	}
+	if err := c.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is gone: further claims fail at the transport.
+	if _, _, err := ClaimBucket(url, "w0"); err == nil {
+		t.Error("claim succeeded after shutdown")
+	}
+}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"0/1": {0, 1},
+		"0/4": {0, 4},
+		"3/4": {3, 4},
+		"7/8": {7, 8},
+	}
+	for spec, want := range good {
+		got, err := ParseShard(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v", spec, got, err, want)
+		}
+		if got.String() != spec {
+			t.Errorf("String() = %q, want %q", got.String(), spec)
+		}
+	}
+	for _, spec := range []string{"", "1", "4/4", "-1/4", "0/0", "0/-2", "a/b", "1/2/3x"} {
+		if s, err := ParseShard(spec); err == nil {
+			t.Errorf("ParseShard(%q) = %+v, want error", spec, s)
+		}
+	}
+}
+
+// TestPartitionCompleteAndDisjoint is the contract the merge depends on:
+// every key is owned by exactly one of the N shards, for every shard count
+// the differential test exercises.
+func TestPartitionCompleteAndDisjoint(t *testing.T) {
+	keys := make([]string, 0, 500)
+	for i := 0; i < 500; i++ {
+		keys = append(keys, fmt.Sprintf("study|app%d|cfg=%d", i%7, i))
+	}
+	for _, n := range []int{1, 2, 3, 4, 8, 13} {
+		for _, k := range keys {
+			owners := 0
+			for b := 0; b < n; b++ {
+				if (Shard{Bucket: b, Of: n}).Owns(k) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("key %q owned by %d shards of %d, want exactly 1", k, owners, n)
+			}
+		}
+	}
+}
+
+// TestBucketAssignmentDeterministic: the key→bucket map is a pure function —
+// the property that lets independently-started worker processes agree on the
+// partition with no coordination.
+func TestBucketAssignmentDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("row|%d", i)
+		first := BucketOf(k, 8)
+		for rep := 0; rep < 5; rep++ {
+			if got := BucketOf(k, 8); got != first {
+				t.Fatalf("BucketOf(%q, 8) flapped: %d vs %d", k, got, first)
+			}
+		}
+	}
+}
+
+// TestBucketSpread: DeriveSeed-quality bits should spread keys across
+// buckets roughly uniformly — no shard should starve or hog the grid.
+func TestBucketSpread(t *testing.T) {
+	const n, total = 8, 4000
+	counts := make([]int, n)
+	for i := 0; i < total; i++ {
+		counts[BucketOf(fmt.Sprintf("study|bench%d|boundary=%d", i%23, i), n)]++
+	}
+	for b, c := range counts {
+		if c < total/n/2 || c > total/n*2 {
+			t.Errorf("bucket %d holds %d of %d keys (expect ~%d)", b, c, total, total/n)
+		}
+	}
+}
+
+func TestActiveShardLifecycle(t *testing.T) {
+	defer ClearShard()
+	if _, ok := ActiveShard(); ok {
+		t.Fatal("shard active before SetShard")
+	}
+	if !OwnsKey("anything") {
+		t.Fatal("unsharded process must own every key")
+	}
+	if err := SetShard(Shard{Bucket: 2, Of: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ActiveShard()
+	if !ok || got != (Shard{Bucket: 2, Of: 4}) {
+		t.Fatalf("ActiveShard = %+v, %v", got, ok)
+	}
+	// OwnsKey must agree with the explicit shard.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if OwnsKey(k) != got.Owns(k) {
+			t.Fatalf("OwnsKey(%q) disagrees with ActiveShard().Owns", k)
+		}
+	}
+	if err := SetShard(Shard{Bucket: 4, Of: 4}); err == nil {
+		t.Fatal("out-of-range SetShard accepted")
+	}
+	ClearShard()
+	if _, ok := ActiveShard(); ok {
+		t.Fatal("shard still active after ClearShard")
+	}
+}

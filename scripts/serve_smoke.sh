@@ -39,6 +39,20 @@ fail() {
     exit 1
 }
 
+# wait_until SECONDS CMD... — poll CMD until it succeeds or SECONDS of wall
+# time elapse (returns 1). A wall-clock deadline, not a fixed iteration
+# count: each probe's own cost (curl on a loaded box) eats into the budget
+# instead of silently stretching it.
+wait_until() {
+    deadline=$(( $(date +%s) + $1 ))
+    shift
+    while :; do
+        "$@" && return 0
+        [ "$(date +%s)" -ge "$deadline" ] && return 1
+        sleep 0.1
+    done
+}
+
 $GO build -o "$BIN" ./cmd/capsim
 
 # --- reference render via the CLI -----------------------------------------
@@ -53,15 +67,12 @@ $GO build -o "$BIN" ./cmd/capsim
 SRV_PID=$!
 
 BASE=""
-i=0
-while [ $i -lt 100 ]; do
-    BASE=$(sed -n 's/.*experiment API on \(http:\/\/[0-9.:]*\).*/\1/p' "$LOG" | head -n1)
-    [ -n "$BASE" ] && break
+server_bound() {
     kill -0 "$SRV_PID" 2>/dev/null || fail "server exited before binding"
-    sleep 0.1
-    i=$((i + 1))
-done
-[ -n "$BASE" ] || fail "server never reported its address"
+    BASE=$(sed -n 's/.*experiment API on \(http:\/\/[0-9.:]*\).*/\1/p' "$LOG" | head -n1)
+    [ -n "$BASE" ]
+}
+wait_until 10 server_bound || fail "server never reported its address"
 
 # --- 1. byte-identical render ---------------------------------------------
 code=$(curl -s -o "$TMP/run1.json" -w '%{http_code}' \
@@ -92,14 +103,11 @@ curl -s -o "$TMP/slow.json" -X POST "$BASE/v1/run" \
     -d '{"experiment":"fig10","seed":7,"parallel":1,"queue_instrs":1000000,"no_cache":true}' &
 SLOW_CURL=$!
 
-i=0
-while [ $i -lt 100 ]; do
-    inflight=$(curl -s "$BASE/healthz" | jq -r '.in_flight' 2>/dev/null || echo 0)
-    [ "$inflight" = "1" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-[ "$inflight" = "1" ] || fail "slow run never occupied the run slot"
+in_flight_is() {
+    inflight=$(curl -s "$BASE/healthz" | jq -r '.in_flight' 2>/dev/null || echo "")
+    [ "$inflight" = "$1" ]
+}
+wait_until 10 in_flight_is 1 || fail "slow run never occupied the run slot"
 
 code=$(curl -s -o "$TMP/busy.json" -w '%{http_code}' \
     -X POST "$BASE/v1/run" -H 'Content-Type: application/json' \
@@ -112,14 +120,7 @@ code=$(curl -s -o "$TMP/busy.json" -w '%{http_code}' \
 # job — far sooner than the run's full budget (~20s serial) could finish.
 kill "$SLOW_CURL" 2>/dev/null || true
 wait "$SLOW_CURL" 2>/dev/null || true
-i=0
-while [ $i -lt 100 ]; do
-    inflight=$(curl -s "$BASE/healthz" | jq -r '.in_flight' 2>/dev/null || echo 1)
-    [ "$inflight" = "0" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-[ "$inflight" = "0" ] || fail "cancelled request did not release its run slot (sweep kept running)"
+wait_until 10 in_flight_is 0 || fail "cancelled request did not release its run slot (sweep kept running)"
 
 # --- 5. graceful drain on SIGTERM ------------------------------------------
 kill -TERM "$SRV_PID"

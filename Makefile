@@ -10,7 +10,10 @@
 # vs the joint cache x queue kernel on the Figure 5 ablation, plus the
 # compressed trace-tier ratio); `make bench-shard` regenerates
 # BENCH_shard.json (the shard tier's scaling curve at 1/2/4/8 workers plus
-# the persistent study cache's warm-vs-cold win); `make bench-compare`
+# the persistent study cache's warm-vs-cold win); `make bench-policy`
+# regenerates BENCH_policy.json (direct per-policy simulation vs the
+# one-pass interval-family replay on the Section 6 suite, with the
+# classification tier's compression ratio); `make bench-compare`
 # prints the old-vs-new profiling micro-benchmark deltas. Every bench-*
 # record target refuses to overwrite a record whose recorded command no
 # longer matches the built flags (scripts/bench_guard.sh); pass FORCE=1 to
@@ -18,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke serve-smoke clean
+.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke bench-policy bench-policy-smoke serve-smoke clean
 
 all: build
 
@@ -51,7 +54,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke serve-smoke
+ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke bench-policy-smoke serve-smoke
 
 # serve-smoke boots the experiment API server (-serve-api) on an ephemeral
 # port and proves the service contract end to end: POST /v1/run renders
@@ -249,6 +252,33 @@ bench-shard:
 bench-shard-smoke:
 	@GO="$(GO)" sh scripts/shard_smoke.sh
 
+# bench-policy writes BENCH_policy.json (scripts/bench_policy.sh): the
+# Section 6 interval suite (fig12, fig13, the policy ablations with the
+# per-interval oracle) measured with direct per-policy simulation
+# (-onepass=false) and with the one-pass interval-family replay + lockstep
+# policy race (-onepass=true), both serial, each suite in one process so
+# cross-driver family reuse is part of the measurement. The script fails
+# below a 1.5x replay speedup; the replay element's trace_ratio records
+# the compressed stream tier's footprint against its flat equivalent.
+bench-policy:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_policy.json \
+		"capsim -experiment fig12,fig13,ablation-interval,ablation-switch -parallel 1 -onepass=false -bench-json /tmp/capsim_bench_policy/direct.json" \
+		"capsim -experiment fig12,fig13,ablation-interval,ablation-switch -parallel 1 -onepass=true -bench-json /tmp/capsim_bench_policy/replay.json"
+	@GO="$(GO)" sh scripts/bench_policy.sh
+
+# bench-policy-smoke is the ci-gated variant: fig12 and fig13 rendered
+# through the interval-family replay (-onepass) and through direct
+# per-configuration simulation, asserting byte-identical renders (the
+# timing footers are stripped; they are the only lines allowed to differ).
+bench-policy-smoke:
+	@$(GO) run ./cmd/capsim -experiment fig12,fig13 -parallel 2 -onepass=true \
+		| grep -v '^(fig1[23] in ' > /tmp/capsim_policy_one.txt
+	@$(GO) run ./cmd/capsim -experiment fig12,fig13 -parallel 2 -onepass=false \
+		| grep -v '^(fig1[23] in ' > /tmp/capsim_policy_leg.txt
+	@cmp /tmp/capsim_policy_one.txt /tmp/capsim_policy_leg.txt || \
+		{ echo "policy replay rendered differently from direct simulation"; exit 1; }
+	@echo "bench-policy smoke ok (replay byte-identical to direct simulation)"
+
 clean:
 	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
 	  /tmp/capsim_bench_obs_f7_off.json /tmp/capsim_bench_obs_f7_on.json \
@@ -262,5 +292,7 @@ clean:
 	  /tmp/capsim_bench_q_event_legacy.json /tmp/capsim_bench_q_event_onepass.json \
 	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt \
 	  /tmp/capsim_bench_joint_legacy.json /tmp/capsim_bench_joint_onepass.json \
-	  /tmp/capsim_joint_one.txt /tmp/capsim_joint_leg.txt
-	rm -rf /tmp/capsim_serve_smoke /tmp/capsim_shard_smoke /tmp/capsim_bench_shard
+	  /tmp/capsim_joint_one.txt /tmp/capsim_joint_leg.txt \
+	  /tmp/capsim_policy_one.txt /tmp/capsim_policy_leg.txt
+	rm -rf /tmp/capsim_serve_smoke /tmp/capsim_shard_smoke /tmp/capsim_bench_shard \
+	  /tmp/capsim_bench_policy

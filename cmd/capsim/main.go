@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"capsim/internal/classify"
 	"capsim/internal/experiments"
 	"capsim/internal/obs"
 	"capsim/internal/ooo"
@@ -78,14 +79,21 @@ type benchRecord struct {
 // manifest (obs.Manifest) is a superset of this schema: shared field names
 // keep their meaning, so consumers of either file can parse both.
 type benchReport struct {
-	Generated   string        `json:"generated"`
-	Command     string        `json:"command"`
-	Parallel    int           `json:"parallel"`
-	Onepass     bool          `json:"onepass"`
-	QueueEngine string        `json:"queue_engine"`
-	ObsEnabled  bool          `json:"obs_enabled"`
+	Generated   string `json:"generated"`
+	Command     string `json:"command"`
+	Parallel    int    `json:"parallel"`
+	Onepass     bool   `json:"onepass"`
+	QueueEngine string `json:"queue_engine"`
+	ObsEnabled  bool   `json:"obs_enabled"`
+	// Host metadata: identifies the machine and toolchain a record was
+	// measured on. scripts/bench_guard.sh compares only the command field,
+	// so these never make a record stale — they contextualize wall times
+	// (a record from a different host is comparable in shape, not speed).
 	GOMAXPROCS  int           `json:"gomaxprocs"`
 	NumCPU      int           `json:"num_cpu"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
 	Seed        uint64        `json:"seed"`
 	CacheRefs   int64         `json:"cache_refs"`
 	QueueInstrs int64         `json:"queue_instrs"`
@@ -99,6 +107,12 @@ type benchReport struct {
 	TraceBytes    int64   `json:"trace_bytes"`
 	TraceRawBytes int64   `json:"trace_raw_bytes"`
 	TraceRatio    float64 `json:"trace_ratio"`
+	// Classification-tier footprint, same convention: encoded RLE+varint
+	// bytes across materialized class streams against the flat
+	// one-byte-per-class equivalent.
+	ClassifyBytes    int64   `json:"classify_bytes"`
+	ClassifyRawBytes int64   `json:"classify_raw_bytes"`
+	ClassifyRatio    float64 `json:"classify_ratio"`
 	// Shard coordinator runs: worker count and the wall time the worker
 	// phase took before the merge. The per-experiment records above then
 	// measure only the merge (every row a warm-cache hit), so end-to-end
@@ -137,7 +151,7 @@ func usageErr(format string, args ...any) error {
 func run() error {
 	var (
 		list        = flag.Bool("list", false, "list available experiments and exit")
-		experiment  = flag.String("experiment", "", "experiment id to run, or 'all'")
+		experiment  = flag.String("experiment", "", "experiment id, comma-separated list of ids, or 'all'")
 		seed        = flag.Uint64("seed", 1998, "master workload seed")
 		cacheRefs   = flag.Int64("cache-refs", 400_000, "measured references per cache configuration")
 		cacheWarm   = flag.Int64("cache-warm", 100_000, "warm-up references per cache configuration")
@@ -150,6 +164,7 @@ func run() error {
 		traceBudget = flag.Int64("trace-budget", 0, "materialized-trace byte ceiling; cold stores evict and regenerate on demand (0 = unbounded; output is identical at any setting)")
 		queueEngine = flag.String("queue-engine", "event", "issue-queue engine: 'event' (event-driven wakeup/select) or 'scan' (per-cycle window scan); output is identical either way")
 		studyCache  = flag.String("study-cache", "", "persistent content-addressed study cache directory; repeated runs, CI and shard workers reuse finished profiling rows instead of recomputing (output is identical with or without)")
+		studyBudget = flag.Int64("study-cache-budget", 0, "study-cache byte ceiling: publications past it evict least-recently-used entries, deterministically (0 = unbounded; output is identical at any setting)")
 		shardSpec   = flag.String("shard", "", "run as static shard i/N: compute and publish only the study rows bucket i owns, render nothing (requires -study-cache)")
 		shardCoord  = flag.Int("shard-coordinator", 0, "spawn N worker processes over the work-claiming protocol, then render the merge (requires -study-cache; output is byte-identical to an unsharded run)")
 		shardBucket = flag.Int("shard-buckets", 0, "shard-coordinator: bucket-space size (default 4N, so fast workers absorb slow workers' tail)")
@@ -189,6 +204,7 @@ func run() error {
 		return usageErr("%v", err)
 	}
 	ooo.SetDefaultEngine(eng)
+	experiments.SetStudyCacheBudget(*studyBudget)
 	if *studyCache != "" {
 		if err := experiments.SetStudyCacheDir(*studyCache); err != nil {
 			return fmt.Errorf("-study-cache: %w", err)
@@ -275,7 +291,12 @@ func run() error {
 		})
 	}
 
-	ids := []string{*experiment}
+	// -experiment accepts a comma-separated list ("fig12,fig13,oracleTPI"):
+	// the ids run in the given order in ONE process, so passes they share —
+	// materialized traces, classification streams, interval families — are
+	// computed once and reused across them, exactly what `make bench-policy`
+	// measures.
+	ids := strings.Split(*experiment, ",")
 	if *experiment == "all" {
 		ids = experiments.IDs()
 	}
@@ -310,6 +331,7 @@ func run() error {
 			"-queue-engine", *queueEngine,
 			"-trace-budget", fmt.Sprint(*traceBudget),
 			"-study-cache", *studyCache,
+			"-study-cache-budget", fmt.Sprint(*studyBudget),
 		}
 		shardStart := time.Now()
 		if err := shardCoordinate(*shardCoord, *shardBucket, workerParallel, commonArgs); err != nil {
@@ -327,6 +349,9 @@ func run() error {
 		ObsEnabled:  obsEnabled,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
 		Seed:        cfg.Seed,
 		CacheRefs:   cfg.CacheRefs,
 		QueueInstrs: cfg.QueueInstrs,
@@ -390,6 +415,11 @@ func run() error {
 		report.TraceRawBytes = trace.TotalRawBytes()
 		if report.TraceRawBytes > 0 {
 			report.TraceRatio = float64(report.TraceBytes) / float64(report.TraceRawBytes)
+		}
+		report.ClassifyBytes = classify.TotalBytes()
+		report.ClassifyRawBytes = classify.TotalRawBytes()
+		if report.ClassifyRawBytes > 0 {
+			report.ClassifyRatio = float64(report.ClassifyBytes) / float64(report.ClassifyRawBytes)
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

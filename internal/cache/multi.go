@@ -15,6 +15,31 @@ const (
 	mhDirty
 )
 
+// Reference outcome classes (AccessClasses): the complete per-boundary
+// result of one access, packed into two bits. The class refines Level with
+// the side effects the service path implies — an L2 hit always performs an
+// exclusive swap, and a structure miss either finds a clean (or invalid) L2
+// victim or writes a dirty one back — so a recorded class stream replays a
+// boundary's statistics and latencies exactly (internal/classify).
+const (
+	ClassL1Hit    uint8 = iota // serviced by L1, no structural side effects
+	ClassL2Swap                // L2 hit: exclusive swap with the L1 LRU victim
+	ClassMissLoad              // structure miss, L2 victim clean or invalid
+	ClassMissWB                // structure miss with a dirty-victim writeback
+)
+
+// ClassLevel maps a reference class back to its service level.
+func ClassLevel(c uint8) Level {
+	switch c {
+	case ClassL1Hit:
+		return L1Hit
+	case ClassL2Swap:
+		return L2Hit
+	default:
+		return Miss
+	}
+}
+
 // MultiHierarchy evaluates EVERY boundary position k = 1..maxBoundary of one
 // adaptive hierarchy in a single pass over the reference stream — the
 // Mattson-style one-pass engine behind the process-level profiling pass.
@@ -191,7 +216,7 @@ func (m *MultiHierarchy) Access(set int, tag uint64, write bool) {
 	}
 
 	m.slowAccs++
-	m.accessSlow(set, tag, write, nil)
+	m.accessSlow(set, tag, write, nil, nil)
 }
 
 // AccessLevels is Access that also reports where the reference was serviced
@@ -222,13 +247,43 @@ func (m *MultiHierarchy) AccessLevels(set int, tag uint64, write bool, levels []
 	}
 
 	m.slowAccs++
-	m.accessSlow(set, tag, write, levels)
+	m.accessSlow(set, tag, write, levels, nil)
+}
+
+// AccessClasses is Access that records each boundary's full reference
+// outcome class (ClassL1Hit/ClassL2Swap/ClassMissLoad/ClassMissWB) into
+// classes[k-1] — the producer side of the classification-stream tier
+// (internal/classify). classes must have at least MaxBoundary elements. The
+// stack-distance-zero fast path is a ClassL1Hit at every boundary by the MRU
+// argument above.
+func (m *MultiHierarchy) AccessClasses(set int, tag uint64, write bool, classes []uint8) {
+	m.stamp++
+	m.refs++
+	if write {
+		m.writes++
+	}
+
+	if m.lastValid[set] && m.lastTag[set] == tag {
+		m.pendStamp[set] = m.stamp
+		if write {
+			m.pendDirty[set] = true
+		}
+		m.fastHits++
+		for kb := 0; kb < m.maxB; kb++ {
+			classes[kb] = ClassL1Hit
+		}
+		return
+	}
+
+	m.slowAccs++
+	m.accessSlow(set, tag, write, nil, classes)
 }
 
 // accessSlow is the lockstep replay path: one exact Hierarchy.Access
 // replication per boundary position. When levels is non-nil it receives the
-// per-boundary service level (AccessLevels).
-func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Level) {
+// per-boundary service level (AccessLevels); when classes is non-nil it
+// receives the per-boundary outcome class (AccessClasses).
+func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Level, classes []uint8) {
 	if ps := m.pendStamp[set]; ps != 0 {
 		// Apply the deferred fast-path effects: the last repeat reference
 		// left the resident block with this stamp (and dirty OR) at its
@@ -265,9 +320,11 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Le
 
 		var final int
 		lvl := Miss
+		cls := ClassMissLoad
 		switch {
 		case hit >= 0 && hit < l1w: // L1 hit
 			lvl = L1Hit
+			cls = ClassL1Hit
 			stamps[hit] = m.stamp
 			if write {
 				flags[hit] |= mhDirty
@@ -276,6 +333,7 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Le
 
 		case hit >= 0: // L2 hit: exclusive swap with the L1 victim
 			lvl = L2Hit
+			cls = ClassL2Swap
 			st.L1Misses++
 			st.Swaps++
 			victim := mhLRU(tags, stamps, flags, 0, l1w)
@@ -298,6 +356,7 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Le
 				l2victim := mhLRU(tags, stamps, flags, l1w, m.ways)
 				if flags[l2victim]&mhValid != 0 && flags[l2victim]&mhDirty != 0 {
 					st.Writebacks++
+					cls = ClassMissWB
 				}
 				tags[l2victim] = tags[victim]
 				stamps[l2victim] = stamps[victim]
@@ -313,6 +372,9 @@ func (m *MultiHierarchy) accessSlow(set int, tag uint64, write bool, levels []Le
 		}
 		if levels != nil {
 			levels[kb] = lvl
+		}
+		if classes != nil {
+			classes[kb] = cls
 		}
 		m.lastWay[set*m.maxB+kb] = int32(final)
 	}

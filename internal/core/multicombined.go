@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"capsim/internal/cache"
+	"capsim/internal/classify"
 	"capsim/internal/obs"
 	"capsim/internal/ooo"
 	"capsim/internal/palacharla"
@@ -33,47 +34,51 @@ import (
 //     the hierarchy column of the cross product collapses to one row per
 //     boundary.
 //
-// The kernel therefore keeps one cache.MultiHierarchy (all boundary rows in
-// lockstep, each reference decoded once via the shared trace tier) and one
-// ooo.MultiCore (all queue columns over one shared instruction buffer). Each
-// cell's load latencies come from ITS OWN boundary row's classification of
-// r_i — served from a per-row class sequence that is extended on demand as
-// the fastest cell reaches new load indices and trimmed below the slowest —
-// while the cell's clock remains the joint worst case of its queue and cache
-// timings. Per-cell results are bit-identical to independent
-// CombinedMachines (TestProfileCombinedOnepass): same Stats, same memLat
-// sequence, same float operation order in the TPI arithmetic.
+// The kernel therefore replays the classification-stream tier
+// (internal/classify): the per-reference outcome of every boundary is
+// materialized once per (app, seed, geometry, budget) — by one
+// MultiHierarchy pass, memoized in-process and in the persistent study
+// store — and each cell serves its load latencies from its own replay
+// cursor over its boundary's compressed row. Queue columns still advance
+// over one shared instruction buffer (ooo.MultiCore), and the cell's clock
+// remains the joint worst case of its queue and cache timings. Per-cell
+// results are bit-identical to independent CombinedMachines
+// (TestProfileCombinedOnepass): same Stats, same memLat sequence, same
+// float operation order in the TPI arithmetic.
 type MultiCombined struct {
 	points  []CombinedConfig
 	periods []float64 // per cell: worst case of queue and cache cycle times
 	rpi     float64
 
 	mc      *ooo.MultiCore
-	mh      *cache.MultiHierarchy
-	dec     *trace.DecodedCursor
 	istream workload.InstrSource
 
-	// Shared load-classification state. rows lists the boundary indices
-	// (kb = k-1) that at least one cell uses; classes is index-parallel to
-	// rows and holds each row's service level per load, for absolute load
-	// indices [base, base+len). levels is the AccessLevels scratch.
-	rows    []int
-	classes [][]uint8
-	base    int64
-	levels  []cache.Level
-
-	loadIdx []int64 // per cell: absolute index of its next load
-	memLat  []func(write bool) int64
+	memLat []func(write bool) int64
 
 	instrs []int64
 	timeNS []float64
 }
 
+// classifyBudget bounds the loads any cell can consume in `intervals`
+// intervals of n instructions: per interval the issue target can overshoot
+// by less than the issue width, dispatch leads issue by at most the window
+// occupancy, and the fractional accumulator attaches at most rpi loads per
+// dispatched instruction. The classification stream is materialized to this
+// length; a cursor read past it panics (classify.Cursor), so an
+// under-estimate is loud, never silently wrong.
+func classifyBudget(intervals, n int64, maxWindow, issueWidth int, rpi float64) int64 {
+	instrs := intervals*(n+int64(issueWidth)) + int64(maxWindow)
+	return int64(float64(instrs)*rpi) + 2
+}
+
 // NewMultiCombined builds the joint kernel for one application over the
 // given configuration points. sizes is the machine's queue-size table (the
 // legal values for points' QueueEntries), exactly as passed to
-// NewCombinedMachine; maxBoundary bounds the boundary rows.
-func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Params, maxBoundary int, points []CombinedConfig, f tech.FeatureSize) (*MultiCombined, error) {
+// NewCombinedMachine; maxBoundary bounds the boundary rows. intervals and n
+// size the classification stream: the kernel materializes (or reuses) the
+// class outcomes for the whole planned run up front, so RunInterval may be
+// called at most `intervals` times.
+func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Params, maxBoundary int, points []CombinedConfig, intervals, n int64, f tech.FeatureSize) (*MultiCombined, error) {
 	if b.Mem == nil {
 		return nil, fmt.Errorf("core: %s has no memory profile", b.Name)
 	}
@@ -91,37 +96,18 @@ func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Pa
 		points:  points,
 		periods: make([]float64, len(points)),
 		rpi:     b.Mem.RefsPerInstr,
-		levels:  make([]cache.Level, maxBoundary),
-		loadIdx: make([]int64, len(points)),
 		memLat:  make([]func(write bool) int64, len(points)),
 		instrs:  make([]int64, len(points)),
 		timeNS:  make([]float64, len(points)),
 	}
-
-	mh, err := cache.NewMulti(p, maxBoundary)
-	if err != nil {
-		return nil, err
-	}
-	m.mh = mh
-	m.dec = trace.DecodedFor(trace.RefsFor(b, seed), trace.Geometry{BlockBytes: p.BlockBytes, Sets: p.Sets()}).Cursor()
 	m.istream = trace.InstrSourceFor(b, seed)
 
-	// Map each used boundary to a class-row slot: the kernel only records
-	// classification sequences for rows some cell actually reads.
-	slotOf := make([]int, maxBoundary) // kb -> slot+1, 0 = unused
-	for _, cc := range points {
+	maxWindow := 0
+	cfgs := make([]ooo.Config, len(points))
+	for i, cc := range points {
 		if cc.Boundary < 1 || cc.Boundary > maxBoundary {
 			return nil, fmt.Errorf("core: boundary %d outside [1,%d]", cc.Boundary, maxBoundary)
 		}
-		if slotOf[cc.Boundary-1] == 0 {
-			m.rows = append(m.rows, cc.Boundary-1)
-			slotOf[cc.Boundary-1] = len(m.rows)
-		}
-	}
-	m.classes = make([][]uint8, len(m.rows))
-
-	cfgs := make([]ooo.Config, len(points))
-	for i, cc := range points {
 		ok := false
 		for _, w := range sizes {
 			if w == cc.QueueEntries {
@@ -133,8 +119,22 @@ func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Pa
 			return nil, fmt.Errorf("core: queue size %d not in table %v", cc.QueueEntries, sizes)
 		}
 		cfgs[i] = ooo.PaperConfig(cc.QueueEntries)
+		if cfgs[i].WindowSize > maxWindow {
+			maxWindow = cfgs[i].WindowSize
+		}
 	}
+	var err error
 	if m.mc, err = ooo.NewMultiCore(cfgs); err != nil {
+		return nil, err
+	}
+
+	// One classification stream serves every cell: materialized once per
+	// (app, seed, geometry, boundary range, budget) and replayed through
+	// independent per-cell cursors, so cells sharing a boundary share the
+	// row bytes without any cross-cell extend/trim coordination.
+	nrefs := classifyBudget(intervals, n, maxWindow, cfgs[0].IssueWidth, m.rpi)
+	cs, err := classify.StreamFor(b, seed, p, maxBoundary, nrefs)
+	if err != nil {
 		return nil, err
 	}
 
@@ -142,7 +142,7 @@ func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Pa
 	// case of the queue's wakeup+select time and the cache timing, exactly
 	// as NewCombinedMachine computes it; the latency switch mirrors
 	// CombinedMachine.RunInterval's memLat term for term, reading this
-	// cell's boundary row at this cell's own load index.
+	// cell's boundary row through this cell's own replay cursor.
 	tp := tech.ForFeature(f)
 	for i, cc := range points {
 		t := cache.TimingFor(p, cc.Boundary)
@@ -151,17 +151,11 @@ func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Pa
 			cyc = t.CycleNS
 		}
 		m.periods[i] = cyc
-		slot := slotOf[cc.Boundary-1] - 1
+		cur := cs.Cursor(cc.Boundary)
 		l2 := int64(t.L2HitCycles)
 		mem := int64(t.L2HitCycles + t.MemCycles)
-		i := i
 		m.memLat[i] = func(write bool) int64 {
-			idx := m.loadIdx[i]
-			m.loadIdx[i]++
-			if idx-m.base >= int64(len(m.classes[slot])) {
-				m.extend(idx)
-			}
-			switch cache.Level(m.classes[slot][idx-m.base]) {
+			switch cache.ClassLevel(cur.Next()) {
 			case cache.L1Hit:
 				return 0
 			case cache.L2Hit:
@@ -172,41 +166,6 @@ func NewMultiCombined(b workload.Benchmark, seed uint64, sizes []int, p cache.Pa
 		}
 	}
 	return m, nil
-}
-
-// extend classifies loads through the shared hierarchy rows until absolute
-// load index idx is covered. References decode once (shared decoded stream)
-// and every boundary row advances in lockstep, so row state at load i equals
-// an independent Hierarchy's after loads r_0..r_{i-1}.
-func (m *MultiCombined) extend(idx int64) {
-	for m.base+int64(len(m.classes[0])) <= idx {
-		set, tag, write := m.dec.NextDecoded()
-		m.mh.AccessLevels(int(set), tag, write, m.levels)
-		for s, kb := range m.rows {
-			m.classes[s] = append(m.classes[s], uint8(m.levels[kb]))
-		}
-	}
-}
-
-// trim recycles the classification prefix below the slowest cell. Peak
-// buffered classification is bounded by the cells' load-index skew — window
-// occupancy differences plus one refill batch — independent of run length.
-func (m *MultiCombined) trim() {
-	min := m.loadIdx[0]
-	for _, v := range m.loadIdx[1:] {
-		if v < min {
-			min = v
-		}
-	}
-	drop := int(min - m.base)
-	if drop <= 0 {
-		return
-	}
-	for s := range m.classes {
-		kept := copy(m.classes[s], m.classes[s][drop:])
-		m.classes[s] = m.classes[s][:kept]
-	}
-	m.base = min
 }
 
 // RunInterval advances every cell by n issued instructions and accumulates
@@ -220,7 +179,6 @@ func (m *MultiCombined) RunInterval(n int64) {
 		m.instrs[i] += st.Issued
 		m.timeNS[i] += float64(st.Cycles) * m.periods[i]
 	}
-	m.trim()
 }
 
 // TPIs returns each cell's cumulative ns per instruction, index-parallel to
@@ -235,10 +193,10 @@ func (m *MultiCombined) TPIs() []float64 {
 	return out
 }
 
-// PublishObs ships the member engines' telemetry deltas.
+// PublishObs ships the member engines' telemetry deltas. (The hierarchy
+// pass behind the classification stream publishes its own at generation.)
 func (m *MultiCombined) PublishObs() {
 	m.mc.PublishObs()
-	m.mh.PublishObs()
 }
 
 // ProfileCombined profiles every joint configuration point for one
@@ -257,7 +215,7 @@ func ProfileCombined(ctx context.Context, b workload.Benchmark, seed uint64, siz
 	as := obs.StartAsync("profile", "combined:"+b.Name)
 	defer as.End(obs.Arg{K: "points", V: len(points)}, obs.Arg{K: "onepass", V: trace.Enabled()})
 	if trace.Enabled() {
-		m, err := NewMultiCombined(b, seed, sizes, p, maxBoundary, points, f)
+		m, err := NewMultiCombined(b, seed, sizes, p, maxBoundary, points, intervals, n, f)
 		if err != nil {
 			return nil, err
 		}

@@ -5,19 +5,26 @@ import (
 	"testing"
 
 	"capsim/internal/cache"
+	"capsim/internal/classify"
 	"capsim/internal/tech"
 	"capsim/internal/trace"
 	"capsim/internal/workload"
 )
 
 // withLegacy runs f with the shared-trace path disabled, restoring the
-// default afterwards and discarding any stores materialized either side.
+// default afterwards and discarding any stores materialized either side —
+// including the classification streams and interval families layered on the
+// trace tier.
 func withLegacy(f func()) {
 	trace.Reset()
+	classify.Reset()
+	ResetPolicyFamilies()
 	trace.SetEnabled(false)
 	defer func() {
 		trace.SetEnabled(true)
 		trace.Reset()
+		classify.Reset()
+		ResetPolicyFamilies()
 	}()
 	f()
 }

@@ -266,43 +266,19 @@ func ProfileQueueTraces(ctx context.Context, b workload.Benchmark, seed uint64, 
 	})
 }
 
-// profileQueueTracesOnepass is the MultiCore engine behind ProfileQueueTraces;
-// the per-interval TPI expression replicates QueueMachine.RunInterval's
-// float operation order (cycles × period, divided by issued) so each trace is
+// profileQueueTracesOnepass is the family-replay engine behind
+// ProfileQueueTraces: the per-size raw interval outcomes come from the
+// memoized interval family (one MultiCore pass shared with the fixed-policy
+// replays and every other trace consumer of the same size list), and the
+// per-interval TPI expression replicates QueueMachine.RunInterval's float
+// operation order (cycles × period, divided by issued) so each trace is
 // bit-identical to a private fixed-configuration machine.
 func profileQueueTracesOnepass(ctx context.Context, b workload.Benchmark, seed uint64, sizes []int, intervals, n int64, f tech.FeatureSize) ([][]float64, error) {
-	if len(sizes) == 0 {
-		return nil, fmt.Errorf("core: no queue sizes")
-	}
-	tp := tech.ForFeature(f)
-	cfgs := make([]ooo.Config, len(sizes))
-	cycs := make([]float64, len(sizes))
-	for i, w := range sizes {
-		if w < 1 {
-			return nil, fmt.Errorf("core: queue size %d invalid", w)
-		}
-		cfgs[i] = ooo.PaperConfig(w)
-		cycs[i] = palacharla.CycleTime(palacharla.Queue{Entries: w, IssueWidth: 8}, tp)
-	}
-	mc, err := ooo.NewMultiCore(cfgs)
+	mp, err := NewMultiPolicy(b, seed, sizes, n, -1, f)
 	if err != nil {
 		return nil, err
 	}
-	stream := trace.InstrSourceFor(b, seed)
-	out := make([][]float64, len(sizes))
-	for i := range out {
-		out[i] = make([]float64, intervals)
-	}
-	for iv := int64(0); iv < intervals; iv++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for i, st := range mc.RunEach(stream, n) {
-			out[i][iv] = float64(st.Cycles) * cycs[i] / float64(st.Issued)
-		}
-	}
-	mc.PublishObs()
-	return out, nil
+	return mp.Traces(ctx, intervals)
 }
 
 // profileQueueTPIOnepass is the MultiCore engine behind ProfileQueueTPI. The

@@ -36,18 +36,14 @@ func intervalCandidates(app string) (sizes []int, err error) {
 // the policy canonically ("fixed:0", "interval-adaptive") — it is the
 // policy's identity in the study-row key, so each (app, sizes, penalty,
 // policy) run is one shard-partitionable, persistently reusable row.
-func runIntervalPolicy(cfg Config, app string, sizes []int, label string, p core.Policy, intervals int64) (core.RunResult, error) {
+func runIntervalPolicy(ctx context.Context, cfg Config, app string, sizes []int, label string, p core.Policy, intervals int64) (core.RunResult, error) {
 	return policyRow(app, cfg.Seed, sizes, label, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature,
 		func() (core.RunResult, error) {
 			b, err := workload.ByName(app)
 			if err != nil {
 				return core.RunResult{}, err
 			}
-			m, err := core.NewQueueMachine(b, cfg.Seed, sizes, 0, cfg.PenaltyCycles, cfg.Feature)
-			if err != nil {
-				return core.RunResult{}, err
-			}
-			return core.RunQueue(m, p, intervals, cfg.IntervalInstrs, false), nil
+			return core.RunPolicyStudy(ctx, b, cfg.Seed, sizes, p, intervals, cfg.IntervalInstrs, cfg.PenaltyCycles, cfg.Feature)
 		})
 }
 
@@ -99,7 +95,7 @@ func ablationInterval(ctx context.Context, cfg Config) (Result, error) {
 		// Best fixed: run both configurations to completion, keep the
 		// better (the process-level choice between the two).
 		fixed, err := sweep.RunCtx(ctx, len(sizes), func(i int) (float64, error) {
-			r, err := runIntervalPolicy(cfg, app, sizes, fmt.Sprintf("fixed:%d", i), core.FixedPolicy{Config: i}, intervals)
+			r, err := runIntervalPolicy(ctx, cfg, app, sizes, fmt.Sprintf("fixed:%d", i), core.FixedPolicy{Config: i}, intervals)
 			return r.TPI, err
 		})
 		if err != nil {
@@ -111,7 +107,7 @@ func ablationInterval(ctx context.Context, cfg Config) (Result, error) {
 				fixedBest = v
 			}
 		}
-		adaptive, err := runIntervalPolicy(cfg, app, sizes, "interval-adaptive",
+		adaptive, err := runIntervalPolicy(ctx, cfg, app, sizes, "interval-adaptive",
 			&core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
 		if err != nil {
 			return row{}, err
@@ -157,7 +153,7 @@ func ablationSwitch(ctx context.Context, cfg Config) (Result, error) {
 	runs, err := sweep.RunCtx(ctx, len(penalties), func(i int) (core.RunResult, error) {
 		c := cfg
 		c.PenaltyCycles = penalties[i]
-		return runIntervalPolicy(c, "vortex", sizes, "interval-adaptive", &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
+		return runIntervalPolicy(ctx, c, "vortex", sizes, "interval-adaptive", &core.IntervalPolicy{Configs: []int{0, 1}}, intervals)
 	})
 	if err != nil {
 		return Result{}, err

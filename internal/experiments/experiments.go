@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"capsim/internal/cache"
+	"capsim/internal/classify"
+	"capsim/internal/core"
 	"capsim/internal/memo"
 	"capsim/internal/metrics"
 	"capsim/internal/obs"
@@ -171,6 +173,8 @@ func ResetCaches() {
 	cacheStudies.Reset()
 	queueStudies.Reset()
 	trace.Reset()
+	classify.Reset()
+	core.ResetPolicyFamilies()
 }
 
 // Run executes the experiment with the given configuration. It is RunCtx

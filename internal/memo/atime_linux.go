@@ -1,0 +1,18 @@
+//go:build linux
+
+package memo
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atimeOf returns the file's access time, falling back to the modification
+// time when the stat shape is not the expected platform one.
+func atimeOf(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

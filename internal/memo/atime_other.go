@@ -1,0 +1,13 @@
+//go:build !linux
+
+package memo
+
+import (
+	"os"
+	"time"
+)
+
+// atimeOf degrades to the modification time on platforms without a portable
+// access-time field; GetBytes's explicit touch updates both, so the LRU
+// policy is unchanged.
+func atimeOf(fi os.FileInfo) time.Time { return fi.ModTime() }

@@ -1,0 +1,135 @@
+package memo
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// entrySize returns the on-disk size of key's entry (envelope included).
+func entrySize(t *testing.T, s *Store, key string) int64 {
+	t.Helper()
+	fi, err := os.Stat(s.path(key))
+	if err != nil {
+		t.Fatalf("stat %q: %v", key, err)
+	}
+	return fi.Size()
+}
+
+// age backdates key's entry by d so the LRU order is under test control
+// instead of the wall clock.
+func age(t *testing.T, s *Store, key string, d time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-d)
+	if err := os.Chtimes(s.path(key), when, when); err != nil {
+		t.Fatalf("chtimes %q: %v", key, err)
+	}
+}
+
+// TestStoreBudgetPrunesLRU: publications past the ceiling evict the
+// least-recently-used entries first, and a read refreshes an entry's age.
+func TestStoreBudgetPrunesLRU(t *testing.T) {
+	s := testStore(t)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.PutBytes(k, make([]byte, 256)); err != nil {
+			t.Fatalf("PutBytes(%q): %v", k, err)
+		}
+	}
+	one := entrySize(t, s, "a")
+	age(t, s, "a", 3*time.Hour)
+	age(t, s, "b", 2*time.Hour)
+	age(t, s, "c", 1*time.Hour)
+
+	// Reading "a" must refresh it: after the touch, "b" is the oldest.
+	if _, ok := s.GetBytes("a"); !ok {
+		t.Fatal("entry a unreadable")
+	}
+
+	// Budget for two entries plus the incoming third: publishing "d" must
+	// evict exactly the stalest survivors until the total fits.
+	s.SetBudget(3 * one)
+	if err := s.PutBytes("d", make([]byte, 256)); err != nil {
+		t.Fatalf("PutBytes(d): %v", err)
+	}
+	if s.Has("b") {
+		t.Error("LRU entry b survived past-budget publication")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !s.Has(k) {
+			t.Errorf("entry %q evicted out of LRU order", k)
+		}
+	}
+}
+
+// TestStoreBudgetUnbounded: the default budget never evicts.
+func TestStoreBudgetUnbounded(t *testing.T) {
+	s := testStore(t)
+	if s.Budget() != 0 {
+		t.Fatalf("default budget %d, want 0", s.Budget())
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.PutBytes(fmt.Sprint("k", i), make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if !s.Has(fmt.Sprint("k", i)) {
+			t.Errorf("entry k%d missing under unbounded budget", i)
+		}
+	}
+}
+
+// TestStoreBudgetSetPrunesImmediately: attaching a budget to a directory that
+// already exceeds it prunes on the spot (the SetStudyCacheDir wiring relies
+// on this ordering being irrelevant).
+func TestStoreBudgetSetPrunesImmediately(t *testing.T) {
+	s := testStore(t)
+	for _, k := range []string{"x", "y"} {
+		if err := s.PutBytes(k, make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	age(t, s, "x", time.Hour)
+	s.SetBudget(entrySize(t, s, "y"))
+	if s.Has("x") {
+		t.Error("older entry x survived SetBudget below current footprint")
+	}
+	if !s.Has("y") {
+		t.Error("newer entry y evicted by SetBudget")
+	}
+}
+
+// TestStoreBudgetTieBreakDeterministic: equal access times prune in path
+// order, so replicas sweeping a shared directory remove the same entries.
+func TestStoreBudgetTieBreakDeterministic(t *testing.T) {
+	keys := []string{"t0", "t1", "t2", "t3"}
+	build := func() (*Store, []string) {
+		s := testStore(t)
+		when := time.Now().Add(-time.Hour)
+		for _, k := range keys {
+			if err := s.PutBytes(k, make([]byte, 128)); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Chtimes(s.path(k), when, when); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.SetBudget(2 * entrySize(t, s, keys[0]))
+		var kept []string
+		for _, k := range keys {
+			if s.Has(k) {
+				kept = append(kept, k)
+			}
+		}
+		return s, kept
+	}
+	_, kept1 := build()
+	_, kept2 := build()
+	if len(kept1) != 2 {
+		t.Fatalf("kept %d entries, want 2 (%v)", len(kept1), kept1)
+	}
+	if fmt.Sprint(kept1) != fmt.Sprint(kept2) {
+		t.Errorf("tie-break nondeterministic: %v vs %v", kept1, kept2)
+	}
+}

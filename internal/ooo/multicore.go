@@ -62,8 +62,11 @@ func NewMultiCore(cfgs []Config) (*MultiCore, error) {
 }
 
 // Cores returns the member cores (index-parallel to the construction
-// configs). Callers may inspect Stats or ResetStats between passes; resizing
-// member cores is not supported.
+// configs). Callers may inspect Stats or ResetStats between passes, and may
+// Resize a member core between RunEach rounds — each core consumes the shared
+// buffer through its own cursor, so a resize perturbs only that column
+// (core.MultiPolicy's lockstep policy race is built on this, pinned by
+// TestMultiPolicyRaceLockstep).
 func (mc *MultiCore) Cores() []*Core { return mc.cores }
 
 // mcCursor adapts one core's view of the shared buffer to workload.InstrSource.

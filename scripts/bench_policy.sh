@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_policy.sh — regenerate BENCH_policy.json (make bench-policy).
+#
+# Records the interval-policy replay engine's win on the Section 6 suite —
+# fig12, fig13 and the policy ablations (ablation-interval carries the
+# per-interval oracle, ablation-switch the penalty sweep) — two elements in
+# order:
+#
+#   1. direct — -onepass=false: every policy x penalty cell simulates its own
+#               private QueueMachine from a fresh stream.
+#   2. replay — -onepass=true: one MultiCore family pass per (app, sizes)
+#               materializes the per-interval (cycles, issued) columns; every
+#               fixed-policy cell, penalty point and oracle trace replays
+#               them through its own clock accounting, and stateful policies
+#               race in lockstep columns (core.MultiPolicy).
+#
+# All four ids run in ONE process per leg (-experiment takes a comma list),
+# so the replay leg's cross-driver reuse — the family key excludes the switch
+# penalty — is part of what is measured. Both legs run -parallel 1 so the
+# comparison is pure compute; renders go to /dev/null (byte identity is ci's
+# bench-policy-smoke gate). The replay element's trace_ratio field records
+# the compressed reference/instruction tier's footprint against its flat
+# equivalent (the classify_* fields stay 0 here: classification streams
+# serve the joint cache x queue kernel, not the queue-only interval suite).
+#
+# Fails unless the replay leg beats the direct leg by >= 1.5x — the
+# acceptance floor for the one-pass policy engine.
+set -eu
+
+GO=${GO:-go}
+TMP=/tmp/capsim_bench_policy
+rm -rf "$TMP"
+mkdir -p "$TMP"
+B="-experiment fig12,fig13,ablation-interval,ablation-switch -parallel 1"
+
+$GO run ./cmd/capsim $B -onepass=false -bench-json "$TMP/direct.json" >/dev/null
+$GO run ./cmd/capsim $B -onepass=true -bench-json "$TMP/replay.json" >/dev/null
+
+{
+	printf '[\n'
+	cat "$TMP/direct.json"
+	printf ',\n'
+	cat "$TMP/replay.json"
+	printf ']\n'
+} > BENCH_policy.json
+
+direct=$(sed -n 's/^ *"total_wall_ns": *\([0-9]*\).*/\1/p' "$TMP/direct.json")
+replay=$(sed -n 's/^ *"total_wall_ns": *\([0-9]*\).*/\1/p' "$TMP/replay.json")
+ratio=$(sed -n 's/^ *"trace_ratio": *\([0-9.e+-]*\).*/\1/p' "$TMP/replay.json")
+echo "wrote BENCH_policy.json (direct ${direct}ns vs replay ${replay}ns, trace_ratio ${ratio:-n/a})"
+awk -v d="$direct" -v r="$replay" 'BEGIN {
+	if (r <= 0 || d / r < 1.5) {
+		printf "bench-policy: replay speedup %.2fx below the 1.5x floor\n", (r > 0 ? d / r : 0) > "/dev/stderr"
+		exit 1
+	}
+	printf "bench-policy: replay speedup %.2fx (floor 1.5x)\n", d / r
+}'

@@ -5,7 +5,8 @@
 # streams vs the shared-trace one-pass profiling path); `make bench-queue`
 # regenerates BENCH_queue.json (scan vs event issue engine x onepass on the
 # queue study); `make bench-obs` regenerates BENCH_obs.json (obs-disabled vs
-# obs-enabled overhead on the fig7/fig10 profiling passes); `make
+# obs-enabled overhead on the fig7/fig10 profiling passes, plus the fig12
+# flight-recorder ledger-on/off x obs-on/off matrix); `make
 # bench-joint` regenerates BENCH_joint.json (independent per-cell machines
 # vs the joint cache x queue kernel on the Figure 5 ablation, plus the
 # compressed trace-tier ratio); `make bench-shard` regenerates
@@ -21,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke bench-policy bench-policy-smoke serve-smoke clean
+.PHONY: all build test short race ci-race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke bench-policy bench-policy-smoke serve-smoke clean
 
 all: build
 
@@ -37,6 +38,13 @@ short:
 race:
 	$(GO) test -race -timeout 30m ./...
 
+# ci-race is the focused race lane over the concurrency-heavy packages — the
+# flight recorder's publication fan-out, the obs counters, the API server's
+# streaming/admission paths and the sweep pool — cheap enough to run on every
+# iteration (the full `race` target covers the whole module).
+ci-race:
+	$(GO) test -race -timeout 10m ./internal/flight/ ./internal/obs/ ./internal/server/ ./internal/sweep/
+
 vet:
 	$(GO) vet ./...
 
@@ -45,16 +53,25 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# staticcheck runs when the tool is installed and is a no-op otherwise, so
-# ci works on boxes without it (no network fetches in the gate).
+# staticcheck installs itself on demand when absent (go install; needs
+# network once) and runs; when the install fails — offline box — it warns
+# loudly instead of failing, so ci still passes air-gapped but the skip is
+# visible rather than silent.
 staticcheck:
-	@if command -v staticcheck >/dev/null 2>&1; then \
+	@gobin="$$($(GO) env GOPATH)/bin"; \
+	if ! command -v staticcheck >/dev/null 2>&1 && [ ! -x "$$gobin/staticcheck" ]; then \
+		echo "staticcheck not installed; trying: $(GO) install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		$(GO) install honnef.co/go/tools/cmd/staticcheck@latest || true; \
+	fi; \
+	if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
+	elif [ -x "$$gobin/staticcheck" ]; then \
+		"$$gobin/staticcheck" ./... ; \
 	else \
-		echo "staticcheck not installed; skipping"; \
+		echo "WARNING: staticcheck unavailable and install failed (offline?); static analysis SKIPPED"; \
 	fi
 
-ci: fmt vet staticcheck build race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke bench-policy-smoke serve-smoke
+ci: fmt vet staticcheck build ci-race race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke bench-policy-smoke serve-smoke
 
 # serve-smoke boots the experiment API server (-serve-api) on an ephemeral
 # port and proves the service contract end to end: POST /v1/run renders
@@ -158,32 +175,50 @@ bench-queue-smoke:
 
 # bench-obs writes BENCH_obs.json: the fig7 (cache) and fig10 (queue)
 # profiling passes measured with telemetry disabled (the default) and
-# enabled (-obs plus a trace sink), each in a fresh process from cold memos,
-# all serial. The elements are distinguished by their obs_enabled field;
-# compare total_wall_ns within each figure pair for the obs overhead — the
-# disabled-mode pair must be within noise (<2%) of the seed, which is the
-# subsystem's "zero-overhead when off" contract.
+# enabled (-obs plus a trace sink), plus the fig12 interval-trace pass
+# across the flight-recorder matrix (ledger-on/off x obs-on/off), each in a
+# fresh process from cold memos, all serial. The elements are distinguished
+# by their obs_enabled field and recorded command; compare total_wall_ns
+# within each figure pair for the overhead — the disabled-mode pair must be
+# within noise (<2%) of the seed, which is the subsystem's "zero-overhead
+# when off" contract, and the fig12 ledger-on legs must stay within 2% of
+# ledger-off.
 bench-obs:
 	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_obs.json \
 		"capsim -experiment fig7 -parallel 1 -bench-json /tmp/capsim_bench_obs_f7_off.json" \
 		"capsim -experiment fig7 -parallel 1 -obs -trace-out /tmp/capsim_obs_f7.trace.json -bench-json /tmp/capsim_bench_obs_f7_on.json" \
 		"capsim -experiment fig10 -parallel 1 -bench-json /tmp/capsim_bench_obs_f10_off.json" \
-		"capsim -experiment fig10 -parallel 1 -obs -trace-out /tmp/capsim_obs_f10.trace.json -bench-json /tmp/capsim_bench_obs_f10_on.json"
+		"capsim -experiment fig10 -parallel 1 -obs -trace-out /tmp/capsim_obs_f10.trace.json -bench-json /tmp/capsim_bench_obs_f10_on.json" \
+		"capsim -experiment fig12 -parallel 1 -bench-json /tmp/capsim_bench_obs_f12_off.json" \
+		"capsim -experiment fig12 -parallel 1 -ledger-out /tmp/capsim_obs_f12.ledger.gz -bench-json /tmp/capsim_bench_obs_f12_ledger.json" \
+		"capsim -experiment fig12 -parallel 1 -obs -bench-json /tmp/capsim_bench_obs_f12_obs.json" \
+		"capsim -experiment fig12 -parallel 1 -obs -ledger-out /tmp/capsim_obs_f12_both.ledger.gz -bench-json /tmp/capsim_bench_obs_f12_both.json"
 	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -bench-json /tmp/capsim_bench_obs_f7_off.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment fig7 -parallel 1 -obs -trace-out /tmp/capsim_obs_f7.trace.json -bench-json /tmp/capsim_bench_obs_f7_on.json >/dev/null 2>/dev/null
 	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -bench-json /tmp/capsim_bench_obs_f10_off.json >/dev/null
 	$(GO) run ./cmd/capsim -experiment fig10 -parallel 1 -obs -trace-out /tmp/capsim_obs_f10.trace.json -bench-json /tmp/capsim_bench_obs_f10_on.json >/dev/null 2>/dev/null
+	$(GO) run ./cmd/capsim -experiment fig12 -parallel 1 -bench-json /tmp/capsim_bench_obs_f12_off.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig12 -parallel 1 -ledger-out /tmp/capsim_obs_f12.ledger.gz -bench-json /tmp/capsim_bench_obs_f12_ledger.json >/dev/null 2>/dev/null
+	$(GO) run ./cmd/capsim -experiment fig12 -parallel 1 -obs -bench-json /tmp/capsim_bench_obs_f12_obs.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment fig12 -parallel 1 -obs -ledger-out /tmp/capsim_obs_f12_both.ledger.gz -bench-json /tmp/capsim_bench_obs_f12_both.json >/dev/null 2>/dev/null
 	{ printf '[\n'; cat /tmp/capsim_bench_obs_f7_off.json; printf ',\n'; \
 	  cat /tmp/capsim_bench_obs_f7_on.json; printf ',\n'; \
 	  cat /tmp/capsim_bench_obs_f10_off.json; printf ',\n'; \
-	  cat /tmp/capsim_bench_obs_f10_on.json; printf ']\n'; } > BENCH_obs.json
+	  cat /tmp/capsim_bench_obs_f10_on.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f12_off.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f12_ledger.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f12_obs.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_obs_f12_both.json; printf ']\n'; } > BENCH_obs.json
 	@echo "wrote BENCH_obs.json"
 
 # bench-obs-smoke is the ci-gated variant: a tiny-budget fig10 run with
 # telemetry off and with every sink on (-obs -obs-assert, trace + manifest),
 # asserting byte-identical stdout renders (the timing footer is stripped; it
 # is the only line allowed to differ) and that the trace and manifest files
-# are produced.
+# are produced; then a fig12 run with the flight recorder on (-ledger-out
+# under -obs-assert, so the ledger invariants are live), asserting the
+# render is byte-identical to recorder-off and that the recorded ledger
+# parses back through `capsim -report`.
 bench-obs-smoke:
 	@$(GO) run ./cmd/capsim -experiment fig10 -parallel 2 -queue-instrs 3000 \
 		| grep -v '^(fig10 in ' > /tmp/capsim_obs_off.txt
@@ -194,7 +229,16 @@ bench-obs-smoke:
 		{ echo "obs-enabled run rendered differently"; exit 1; }
 	@test -s /tmp/capsim_obs_smoke.trace.json || { echo "trace file missing"; exit 1; }
 	@test -s /tmp/capsim_obs_smoke.json || { echo "manifest missing"; exit 1; }
-	@echo "bench-obs smoke ok (render byte-identical with obs+assert+trace+manifest on)"
+	@$(GO) run ./cmd/capsim -experiment fig12 -parallel 2 \
+		| grep -v '^(fig12 in ' > /tmp/capsim_ledger_off.txt
+	@$(GO) run ./cmd/capsim -experiment fig12 -parallel 2 \
+		-obs-assert -ledger-out /tmp/capsim_obs_smoke.ledger.gz \
+		2>/dev/null | grep -v '^(fig12 in ' > /tmp/capsim_ledger_on.txt
+	@cmp /tmp/capsim_ledger_off.txt /tmp/capsim_ledger_on.txt || \
+		{ echo "ledger-enabled run rendered differently"; exit 1; }
+	@$(GO) run ./cmd/capsim -report /tmp/capsim_obs_smoke.ledger.gz | grep -q '^league:' || \
+		{ echo "recorded ledger failed to parse back through -report"; exit 1; }
+	@echo "bench-obs smoke ok (renders byte-identical with obs/assert/trace/manifest/ledger on; ledger round-trips)"
 
 # bench-joint writes BENCH_joint.json: the Figure 5 joint cache x queue
 # ablation (ablation-combined) measured with -onepass=false (one private
@@ -286,6 +330,10 @@ clean:
 	  /tmp/capsim_obs_f7.trace.json /tmp/capsim_obs_f10.trace.json \
 	  /tmp/capsim_obs_off.txt /tmp/capsim_obs_on.txt \
 	  /tmp/capsim_obs_smoke.trace.json /tmp/capsim_obs_smoke.json \
+	  /tmp/capsim_bench_obs_f12_off.json /tmp/capsim_bench_obs_f12_ledger.json \
+	  /tmp/capsim_bench_obs_f12_obs.json /tmp/capsim_bench_obs_f12_both.json \
+	  /tmp/capsim_obs_f12.ledger.gz /tmp/capsim_obs_f12_both.ledger.gz \
+	  /tmp/capsim_ledger_off.txt /tmp/capsim_ledger_on.txt /tmp/capsim_obs_smoke.ledger.gz \
 	  /tmp/capsim_bench_legacy.json /tmp/capsim_bench_onepass.json \
 	  /tmp/capsim_bench_compare.txt \
 	  /tmp/capsim_bench_q_scan_legacy.json /tmp/capsim_bench_q_scan_onepass.json \

@@ -14,6 +14,8 @@
 //	capsim -experiment all -metrics-out run.json       # run manifest + counters
 //	capsim -experiment all -serve :8417                # live expvar endpoint
 //	capsim -experiment fig10 -obs-assert               # runtime invariant checks
+//	capsim -experiment ablation-interval -ledger-out run.ledger.gz  # flight recorder
+//	capsim -report run.ledger.gz,run.json              # offline regret analysis
 //
 // Output is byte-identical at every -parallel setting: simulation jobs derive
 // their random streams from (seed, benchmark, purpose) and results are
@@ -46,6 +48,7 @@ import (
 
 	"capsim/internal/classify"
 	"capsim/internal/experiments"
+	"capsim/internal/flight"
 	"capsim/internal/obs"
 	"capsim/internal/ooo"
 	"capsim/internal/server"
@@ -148,7 +151,7 @@ func usageErr(format string, args ...any) error {
 	return exitCoder{fmt.Errorf(format, args...), 2}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		list        = flag.Bool("list", false, "list available experiments and exit")
 		experiment  = flag.String("experiment", "", "experiment id, comma-separated list of ids, or 'all'")
@@ -171,6 +174,8 @@ func run() error {
 		shardClaim  = flag.String("shard-claim", "", "run as dynamic shard worker claiming buckets from this coordinator URL until exhausted (requires -study-cache)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		benchJSON   = flag.String("bench-json", "", "write per-experiment wall time and allocation deltas as JSON to this file")
+		ledgerOut   = flag.String("ledger-out", "", "write the flight-recorder decision ledger (per-interval NDJSON, gzip when the path ends in .gz) of every adaptive-policy run to this file")
+		reportIn    = flag.String("report", "", "offline ledger analysis: read comma-separated ledger/manifest files, print regret, switch-rate and dwell tables, and exit (no simulation)")
 		obsOn       = flag.Bool("obs", false, "enable telemetry counters (implied by -metrics-out and -serve)")
 		obsAssert   = flag.Bool("obs-assert", false, "enable runtime invariant self-checks in the simulators (panics on violation)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event timeline (chrome://tracing, ui.perfetto.dev) to this file")
@@ -192,8 +197,26 @@ func run() error {
 		}
 		return nil
 	}
+	if *reportIn != "" {
+		var inputs []flight.ReportInput
+		for _, p := range strings.Split(*reportIn, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			in, err := flight.ReadReportInput(p)
+			if err != nil {
+				return fmt.Errorf("-report: %w", err)
+			}
+			inputs = append(inputs, in)
+		}
+		if len(inputs) == 0 {
+			return usageErr("-report: no input files")
+		}
+		fmt.Print(flight.Report(inputs))
+		return nil
+	}
 	if *experiment == "" && *serveAPI == "" {
-		return usageErr("-experiment required (or -list, or -serve-api); e.g. capsim -experiment fig9")
+		return usageErr("-experiment required (or -list, -report, or -serve-api); e.g. capsim -experiment fig9")
 	}
 
 	sweep.SetDefaultWorkers(*parallel)
@@ -256,6 +279,37 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "capsim: trace: %v\n", terr)
 			}
 		}()
+	}
+
+	// The flight recorder's process-wide collector: every adaptive-policy run
+	// in this process (one-shot experiments and API-served runs alike) appends
+	// its per-interval decision ledger to the file. Recording never feeds back
+	// into the simulation — stdout stays byte-identical with or without it.
+	if *ledgerOut != "" {
+		lw, lerr := flight.CreateLedger(*ledgerOut)
+		if lerr != nil {
+			return fmt.Errorf("-ledger-out: %w", lerr)
+		}
+		col := flight.NewCollector(lw)
+		flight.SetCollector(col)
+		// Close flushes the gzip/bufio layers; a truncated or failed ledger
+		// must fail the run, not ship silently.
+		defer func() {
+			flight.SetCollector(nil)
+			if serr := col.Err(); serr != nil && err == nil {
+				err = fmt.Errorf("-ledger-out: %w", serr)
+			}
+			if cerr := lw.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("-ledger-out: %w", cerr)
+			}
+		}()
+		if !*onepass {
+			fmt.Fprintln(os.Stderr, "capsim: -ledger-out: the legacy (-onepass=false) policy path records no ledger events")
+		}
+		if *studyCache != "" {
+			fmt.Fprintln(os.Stderr, "capsim: -ledger-out: warm -study-cache rows skip simulation and record nothing; record from a cold cache for a complete ledger")
+		}
+		fmt.Fprintf(os.Stderr, "capsim: writing flight ledger to %s\n", *ledgerOut)
 	}
 
 	if *cpuprofile != "" {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"capsim/internal/clock"
+	"capsim/internal/flight"
 	"capsim/internal/memo"
 	"capsim/internal/obs"
 	"capsim/internal/ooo"
@@ -206,6 +207,9 @@ func (mp *MultiPolicy) Traces(ctx context.Context, intervals int64) ([][]float64
 			out[i][iv] = float64(cycles[i][iv]) * mp.cycs[i] / float64(issued[i][iv])
 		}
 	}
+	if flight.Active(ctx) {
+		mp.publishTraceRuns(ctx, cycles, issued, out, intervals)
+	}
 	return out, nil
 }
 
@@ -234,8 +238,20 @@ func (mp *MultiPolicy) RunFixed(ctx context.Context, cfg int, intervals int64) (
 	if err != nil {
 		return RunResult{}, err
 	}
+	rec := flight.Active(ctx)
+	var (
+		evs      []flight.Event
+		oCfg     []int
+		oNS      []float64
+		regretNS float64
+	)
+	if rec {
+		evs = make([]flight.Event, 0, intervals)
+		oCfg, oNS = mp.flightOracle(cycles, intervals)
+	}
 	var timeNS float64
 	var instrs int64
+	var pen0 float64 // interval-0 switch penalty (ledger attribution)
 	if cfg != 0 {
 		// QueueMachine.SetConfig order: drain at the old clock (zero
 		// cycles — the core is empty at interval 0), then the switch
@@ -246,15 +262,46 @@ func (mp *MultiPolicy) RunFixed(ctx context.Context, cfg int, intervals int64) (
 			return RunResult{}, err
 		}
 		timeNS += pen
+		pen0 = pen
 	}
 	for iv := int64(0); iv < intervals; iv++ {
 		dt := clk.Advance(cycles[cfg][iv])
 		instrs += issued[cfg][iv]
 		timeNS += dt
+		if rec {
+			var pen float64
+			if iv == 0 {
+				pen = pen0
+			}
+			tot := pen + dt
+			regret := tot - oNS[iv]
+			regretNS += regret
+			evs = append(evs, flight.Event{
+				Interval:    iv,
+				Config:      cfg,
+				Size:        mp.sizes[cfg],
+				Cycles:      cycles[cfg][iv],
+				Issued:      issued[cfg][iv],
+				PeriodNS:    mp.cycs[cfg],
+				PenaltyNS:   pen,
+				AdvNS:       dt,
+				CumTimeNS:   timeNS,
+				TPI:         dt / float64(issued[cfg][iv]),
+				OracleCfg:   oCfg[iv],
+				OracleNS:    oNS[iv],
+				RegretNS:    regret,
+				CumRegretNS: regretNS,
+				Switched:    iv == 0 && cfg != 0,
+			})
+		}
 	}
 	res := RunResult{Policy: FixedPolicy{Config: cfg}.Name(), Instrs: instrs, TimeNS: timeNS, Switches: clk.Switches()}
 	if instrs != 0 {
 		res.TPI = timeNS / float64(instrs)
+	}
+	if rec {
+		meta := mp.flightMeta(res.Policy, flight.KindFixed)
+		flight.Publish(ctx, meta, evs, flightEnd(intervals, instrs, res.Switches, timeNS, regretNS))
 	}
 	return res, nil
 }
@@ -282,6 +329,43 @@ func (mp *MultiPolicy) Race(ctx context.Context, specs []PolicySpec, intervals i
 	cores := mc.Cores()
 	stream := trace.InstrSourceFor(mp.b, mp.seed)
 
+	// Flight recording: the oracle reference comes from the memoized interval
+	// family (materialized here if no other consumer has yet — the same pass
+	// Traces replays). Per-interval drain/penalty attribution is captured into
+	// slices the RunEach loop reads; all simulated arithmetic below is
+	// unchanged whether or not rec is set.
+	rec := flight.Active(ctx)
+	var (
+		recEvs     [][]flight.Event
+		recRegret  []float64
+		oCfg       []int
+		oNS        []float64
+		ivDrainCyc []int64
+		ivDrainNS  []float64
+		ivPenNS    []float64
+		ivSwitched []bool
+	)
+	if rec {
+		fam, err := familyFor(mp.b, mp.seed, mp.sizes, mp.n)
+		if err != nil {
+			return nil, err
+		}
+		famCycles, _, err := fam.rows(ctx, intervals)
+		if err != nil {
+			return nil, err
+		}
+		oCfg, oNS = mp.flightOracle(famCycles, intervals)
+		recEvs = make([][]flight.Event, len(specs))
+		for j := range recEvs {
+			recEvs[j] = make([]flight.Event, 0, intervals)
+		}
+		recRegret = make([]float64, len(specs))
+		ivDrainCyc = make([]int64, len(specs))
+		ivDrainNS = make([]float64, len(specs))
+		ivPenNS = make([]float64, len(specs))
+		ivSwitched = make([]bool, len(specs))
+	}
+
 	clks := make([]*clock.System, len(specs))
 	mons := make([]*Monitor, len(specs))
 	cur := make([]int, len(specs))
@@ -299,6 +383,11 @@ func (mp *MultiPolicy) Race(ctx context.Context, specs []PolicySpec, intervals i
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if rec {
+			for j := range specs {
+				ivDrainCyc[j], ivDrainNS[j], ivPenNS[j], ivSwitched[j] = 0, 0, 0, false
+			}
+		}
 		for j, spec := range specs {
 			want := spec.Policy.Next(mons[j])
 			if want == cur[j] {
@@ -312,13 +401,17 @@ func (mp *MultiPolicy) Race(ctx context.Context, specs []PolicySpec, intervals i
 				return nil, err
 			}
 			drain := cores[j].Stats().DrainStalls - before
-			timeNS[j] += clks[j].Advance(drain)
+			dd := clks[j].Advance(drain)
+			timeNS[j] += dd
 			pen, err := clks[j].Select(want)
 			if err != nil {
 				return nil, err
 			}
 			timeNS[j] += pen
 			cur[j] = want
+			if rec {
+				ivDrainCyc[j], ivDrainNS[j], ivPenNS[j], ivSwitched[j] = drain, dd, pen, true
+			}
 		}
 		for j, st := range mc.RunEach(stream, mp.n) {
 			dt := clks[j].Advance(st.Cycles)
@@ -330,6 +423,37 @@ func (mp *MultiPolicy) Race(ctx context.Context, specs []PolicySpec, intervals i
 				TPI:      dt / float64(st.Issued),
 				IPC:      st.IPC(),
 			})
+			if rec {
+				tot := ivDrainNS[j] + ivPenNS[j] + dt
+				// Live race columns diverge from the family columns after a
+				// resize, so an interval can occasionally beat every family
+				// column; regret vs the family oracle is floored at zero to
+				// keep the ledger's monotonicity invariant meaningful.
+				regret := tot - oNS[iv]
+				if regret < 0 {
+					regret = 0
+				}
+				recRegret[j] += regret
+				recEvs[j] = append(recEvs[j], flight.Event{
+					Interval:    iv,
+					Config:      cur[j],
+					Size:        mp.sizes[cur[j]],
+					Cycles:      st.Cycles,
+					Issued:      st.Issued,
+					PeriodNS:    mp.cycs[cur[j]],
+					DrainCycles: ivDrainCyc[j],
+					DrainNS:     ivDrainNS[j],
+					PenaltyNS:   ivPenNS[j],
+					AdvNS:       dt,
+					CumTimeNS:   timeNS[j],
+					TPI:         dt / float64(st.Issued),
+					OracleCfg:   oCfg[iv],
+					OracleNS:    oNS[iv],
+					RegretNS:    regret,
+					CumRegretNS: recRegret[j],
+					Switched:    ivSwitched[j],
+				})
+			}
 		}
 		obsPolicyCells.Add1(int64(len(specs)))
 	}
@@ -339,6 +463,10 @@ func (mp *MultiPolicy) Race(ctx context.Context, specs []PolicySpec, intervals i
 		out[j] = RunResult{Policy: spec.Policy.Name(), Instrs: instrs[j], TimeNS: timeNS[j], Switches: clks[j].Switches()}
 		if instrs[j] != 0 {
 			out[j].TPI = timeNS[j] / float64(instrs[j])
+		}
+		if rec {
+			meta := mp.flightMeta(out[j].Policy, flight.KindRace)
+			flight.Publish(ctx, meta, recEvs[j], flightEnd(intervals, instrs[j], out[j].Switches, timeNS[j], recRegret[j]))
 		}
 	}
 	return out, nil

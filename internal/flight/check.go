@@ -1,0 +1,90 @@
+package flight
+
+import "fmt"
+
+// CheckRun validates one run column against the ledger invariants. The
+// checks use exact float equality, not tolerances: the engines stamp events
+// from their own accumulators in the same operation order the checker
+// replays, so any mismatch is a real bookkeeping bug, not rounding.
+//
+// Invariants:
+//
+//  1. Interval indices are sequential from the first event.
+//  2. AdvNS == float64(Cycles) × PeriodNS for every event, and the running
+//     sum (+= DrainNS; += PenaltyNS; += AdvNS) reproduces each event's
+//     CumTimeNS and the run's end.TimeNS — per-interval cycles×period sums
+//     reproduce the run's total time.
+//  3. RegretNS is never negative, its running sum reproduces CumRegretNS and
+//     end.CumRegretNS, and therefore CumRegretNS is monotone non-decreasing.
+//  4. The oracle column's regret is identically zero.
+//  5. end.Intervals, end.Instrs and end.Switches match the event stream.
+func CheckRun(meta RunMeta, events []Event, end RunEnd) error {
+	var (
+		timeNS   float64
+		regretNS float64
+		instrs   int64
+		switches int64
+	)
+	var base int64
+	if len(events) > 0 {
+		base = events[0].Interval
+	}
+	for i, ev := range events {
+		if ev.Interval != base+int64(i) {
+			return fmt.Errorf("flight: %s/%s: event %d has interval %d, want %d",
+				meta.Policy, meta.Kind, i, ev.Interval, base+int64(i))
+		}
+		if want := float64(ev.Cycles) * ev.PeriodNS; ev.AdvNS != want {
+			return fmt.Errorf("flight: %s/%s iv=%d: adv_ns %v != cycles×period %v",
+				meta.Policy, meta.Kind, ev.Interval, ev.AdvNS, want)
+		}
+		timeNS += ev.DrainNS
+		timeNS += ev.PenaltyNS
+		timeNS += ev.AdvNS
+		if ev.CumTimeNS != timeNS {
+			return fmt.Errorf("flight: %s/%s iv=%d: cum_time_ns %v != replayed sum %v",
+				meta.Policy, meta.Kind, ev.Interval, ev.CumTimeNS, timeNS)
+		}
+		if ev.RegretNS < 0 {
+			return fmt.Errorf("flight: %s/%s iv=%d: negative regret %v",
+				meta.Policy, meta.Kind, ev.Interval, ev.RegretNS)
+		}
+		if meta.Kind == KindOracle && ev.RegretNS != 0 {
+			return fmt.Errorf("flight: oracle column %s iv=%d: regret %v != 0",
+				meta.Policy, ev.Interval, ev.RegretNS)
+		}
+		regretNS += ev.RegretNS
+		if ev.CumRegretNS != regretNS {
+			return fmt.Errorf("flight: %s/%s iv=%d: cum_regret_ns %v != replayed sum %v",
+				meta.Policy, meta.Kind, ev.Interval, ev.CumRegretNS, regretNS)
+		}
+		instrs += ev.Issued
+		if ev.Switched {
+			switches++
+		}
+	}
+	if end.TimeNS != timeNS {
+		return fmt.Errorf("flight: %s/%s: end time_ns %v != event sum %v",
+			meta.Policy, meta.Kind, end.TimeNS, timeNS)
+	}
+	if end.CumRegretNS != regretNS {
+		return fmt.Errorf("flight: %s/%s: end cum_regret_ns %v != event sum %v",
+			meta.Policy, meta.Kind, end.CumRegretNS, regretNS)
+	}
+	if meta.Kind == KindOracle && end.CumRegretNS != 0 {
+		return fmt.Errorf("flight: oracle column %s: end regret %v != 0", meta.Policy, end.CumRegretNS)
+	}
+	if end.Intervals != int64(len(events)) {
+		return fmt.Errorf("flight: %s/%s: end intervals %d != %d events",
+			meta.Policy, meta.Kind, end.Intervals, len(events))
+	}
+	if end.Instrs != instrs {
+		return fmt.Errorf("flight: %s/%s: end instrs %d != event sum %d",
+			meta.Policy, meta.Kind, end.Instrs, instrs)
+	}
+	if end.Switches != switches {
+		return fmt.Errorf("flight: %s/%s: end switches %d != %d switched events",
+			meta.Policy, meta.Kind, end.Switches, switches)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"capsim/internal/metrics"
+	"capsim/internal/obs"
+)
+
+// Ledger is one parsed ledger artifact.
+type Ledger struct {
+	Schema string
+	Runs   []LedgerRun
+}
+
+// LedgerRun is one reassembled run column.
+type LedgerRun struct {
+	Run    int64
+	Meta   RunMeta
+	Events []Event
+	End    RunEnd
+	ended  bool
+}
+
+// ReadLedger opens and parses the NDJSON ledger at path, transparently
+// ungzipping by content.
+func ReadLedger(path string) (Ledger, error) {
+	r, err := openLedgerReader(path)
+	if err != nil {
+		return Ledger{}, err
+	}
+	defer r.Close()
+	l, err := ParseLedger(r)
+	if err != nil {
+		return Ledger{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// ParseLedger reassembles run columns from a ledger line stream. Unknown
+// line types are skipped (forward compatibility within the major schema);
+// a run whose "end" line never arrived — a stream cut mid-run — is dropped
+// with an error, because its totals are not trustworthy.
+func ParseLedger(r io.Reader) (Ledger, error) {
+	var out Ledger
+	runs := map[int64]*LedgerRun{}
+	order := []int64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var disc struct {
+			T   string `json:"t"`
+			Run int64  `json:"run"`
+		}
+		if err := json.Unmarshal(line, &disc); err != nil {
+			return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch disc.T {
+		case LineHeader:
+			var h headerLine
+			if err := json.Unmarshal(line, &h); err != nil {
+				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if !strings.HasPrefix(h.Schema, "capsim/ledger/") {
+				return Ledger{}, fmt.Errorf("line %d: not a capsim ledger (schema %q)", lineNo, h.Schema)
+			}
+			out.Schema = h.Schema
+		case LineRun:
+			var rl runLine
+			if err := json.Unmarshal(line, &rl); err != nil {
+				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			lr := &LedgerRun{Run: rl.Run, Meta: rl.RunMeta}
+			runs[rl.Run] = lr
+			order = append(order, rl.Run)
+		case LineEvent:
+			var el eventLine
+			if err := json.Unmarshal(line, &el); err != nil {
+				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			lr := runs[el.Run]
+			if lr == nil {
+				return Ledger{}, fmt.Errorf("line %d: event for unknown run %d", lineNo, el.Run)
+			}
+			lr.Events = append(lr.Events, el.Event)
+		case LineEnd:
+			var el endLine
+			if err := json.Unmarshal(line, &el); err != nil {
+				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			lr := runs[el.Run]
+			if lr == nil {
+				return Ledger{}, fmt.Errorf("line %d: end for unknown run %d", lineNo, el.Run)
+			}
+			lr.End = el.RunEnd
+			lr.ended = true
+		case LineProgress:
+			// Transient; nothing to reassemble.
+		default:
+			// Forward compatibility: skip unknown line types.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Ledger{}, err
+	}
+	if out.Schema == "" {
+		return Ledger{}, fmt.Errorf("no ledger header line")
+	}
+	for _, id := range order {
+		lr := runs[id]
+		if !lr.ended {
+			return Ledger{}, fmt.Errorf("run %d (%s/%s) has no end line: truncated ledger", id, lr.Meta.Policy, lr.Meta.Kind)
+		}
+		out.Runs = append(out.Runs, *lr)
+	}
+	return out, nil
+}
+
+// ReportInput is one source document for BuildReport: a parsed ledger or a
+// run manifest accepted for provenance.
+type ReportInput struct {
+	Path     string
+	Ledger   *Ledger
+	Manifest *obs.Manifest
+}
+
+// ReadReportInput loads path as either a ledger (NDJSON, optionally
+// gzipped) or a run manifest (capsim/run-manifest JSON). Manifests ride
+// along as provenance — the report's header names the commands that
+// produced the runs it summarizes.
+func ReadReportInput(path string) (ReportInput, error) {
+	r, err := openLedgerReader(path)
+	if err != nil {
+		return ReportInput{}, err
+	}
+	defer r.Close()
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return ReportInput{}, fmt.Errorf("%s: %w", path, err)
+	}
+	// A manifest is ONE JSON document; a ledger is many, one per line, so a
+	// whole-buffer Unmarshal succeeds only for manifests. Try that first and
+	// fall back to ledger parsing.
+	var m obs.Manifest
+	if jerr := json.Unmarshal(buf, &m); jerr == nil && strings.HasPrefix(m.Schema, "capsim/run-manifest/") {
+		return ReportInput{Path: path, Manifest: &m}, nil
+	}
+	l, err := ParseLedger(bytes.NewReader(buf))
+	if err != nil {
+		return ReportInput{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return ReportInput{Path: path, Ledger: &l}, nil
+}
+
+// runKey dedups run columns across ledger files: re-recording the same
+// study appends identical columns, and the report must count each once.
+func runKey(m RunMeta, intervals int64) string {
+	return fmt.Sprintf("%s|%v|%d|%d|%s|%s|%d", m.App, m.Sizes, m.N, m.Penalty, m.Policy, m.Kind, intervals)
+}
+
+// Report renders ledger analytics: the per-app policy league table (ranked
+// by total regret), the switch-rate/dwell-time table, and a cross-app
+// per-policy summary.
+func Report(inputs []ReportInput) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capsim flight report (%s)\n", Schema)
+
+	seen := map[string]bool{}
+	var runs []LedgerRun
+	for _, in := range inputs {
+		switch {
+		case in.Ledger != nil:
+			kept := 0
+			for _, r := range in.Ledger.Runs {
+				k := runKey(r.Meta, r.End.Intervals)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				runs = append(runs, r)
+				kept++
+			}
+			fmt.Fprintf(&b, "  ledger   %s: %d runs (%d new)\n", in.Path, len(in.Ledger.Runs), kept)
+		case in.Manifest != nil:
+			fmt.Fprintf(&b, "  manifest %s: %s\n", in.Path, in.Manifest.Command)
+		}
+	}
+	b.WriteByte('\n')
+	if len(runs) == 0 {
+		b.WriteString("no runs recorded\n")
+		return b.String()
+	}
+
+	// League table: per app, ranked by total regret (the oracle, at zero,
+	// leads by construction).
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].Meta.App != runs[j].Meta.App {
+			return runs[i].Meta.App < runs[j].Meta.App
+		}
+		return runs[i].End.CumRegretNS < runs[j].End.CumRegretNS
+	})
+	league := metrics.Table{
+		ID:      "league",
+		Title:   "policy league table (ranked by total regret vs oracle)",
+		Columns: []string{"app", "policy", "kind", "intervals", "tpi_ns", "switches", "regret_ns/iv", "total_regret_ns"},
+	}
+	for _, r := range runs {
+		perIV := 0.0
+		if r.End.Intervals > 0 {
+			perIV = r.End.CumRegretNS / float64(r.End.Intervals)
+		}
+		league.Rows = append(league.Rows, []string{
+			r.Meta.App, r.Meta.Policy, r.Meta.Kind,
+			fmt.Sprint(r.End.Intervals), metrics.F(r.End.TPI),
+			fmt.Sprint(r.End.Switches), metrics.F(perIV), metrics.F(r.End.CumRegretNS),
+		})
+	}
+	b.WriteString(league.Render())
+	b.WriteByte('\n')
+
+	// Switch-rate / dwell-time table: adaptation dynamics per run. Dwell is
+	// the mean run length at one configuration (intervals per switch+1);
+	// residency names the configuration holding the most intervals.
+	dwell := metrics.Table{
+		ID:      "dwell",
+		Title:   "switch rate and dwell time",
+		Columns: []string{"app", "policy", "kind", "switches/1k_iv", "mean_dwell_iv", "top_cfg", "top_cfg_share"},
+	}
+	for _, r := range runs {
+		if r.End.Intervals == 0 {
+			continue
+		}
+		rate := 1000 * float64(r.End.Switches) / float64(r.End.Intervals)
+		md := float64(r.End.Intervals) / float64(r.End.Switches+1)
+		res := map[int]int64{}
+		for _, ev := range r.Events {
+			res[ev.Config]++
+		}
+		top, topN := 0, int64(-1)
+		for cfg, n := range res {
+			if n > topN || (n == topN && cfg < top) {
+				top, topN = cfg, n
+			}
+		}
+		share := float64(topN) / float64(r.End.Intervals)
+		label := "-"
+		if topN >= 0 {
+			label = fmt.Sprint(top)
+			for _, ev := range r.Events {
+				if ev.Config == top {
+					label = fmt.Sprintf("IQ=%d", ev.Size)
+					break
+				}
+			}
+		}
+		dwell.Rows = append(dwell.Rows, []string{
+			r.Meta.App, r.Meta.Policy, r.Meta.Kind,
+			metrics.F(rate), metrics.F(md), label, metrics.Pct(share),
+		})
+	}
+	b.WriteString(dwell.Render())
+	b.WriteByte('\n')
+
+	// Cross-app summary: one row per policy, averaging regret-per-interval
+	// across the apps it ran on — the league table's single-number view.
+	type agg struct {
+		policy, kind string
+		apps         int
+		perIV        []float64
+	}
+	byPolicy := map[string]*agg{}
+	var polOrder []string
+	for _, r := range runs {
+		if r.End.Intervals == 0 {
+			continue
+		}
+		k := r.Meta.Policy + "|" + r.Meta.Kind
+		a := byPolicy[k]
+		if a == nil {
+			a = &agg{policy: r.Meta.Policy, kind: r.Meta.Kind}
+			byPolicy[k] = a
+			polOrder = append(polOrder, k)
+		}
+		a.apps++
+		a.perIV = append(a.perIV, r.End.CumRegretNS/float64(r.End.Intervals))
+	}
+	sort.SliceStable(polOrder, func(i, j int) bool {
+		return metrics.Mean(byPolicy[polOrder[i]].perIV) < metrics.Mean(byPolicy[polOrder[j]].perIV)
+	})
+	summary := metrics.Table{
+		ID:      "summary",
+		Title:   "cross-app policy summary (mean regret per interval)",
+		Columns: []string{"policy", "kind", "runs", "mean_regret_ns/iv"},
+	}
+	for _, k := range polOrder {
+		a := byPolicy[k]
+		summary.Rows = append(summary.Rows, []string{
+			a.policy, a.kind, fmt.Sprint(a.apps), metrics.F(metrics.Mean(a.perIV)),
+		})
+	}
+	b.WriteString(summary.Render())
+	return b.String()
+}

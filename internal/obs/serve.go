@@ -16,7 +16,7 @@ import (
 // watching a long `-experiment all` run from another terminal:
 //
 //	capsim -experiment all -serve :8417 &
-//	curl -s localhost:8417/metrics          # plain-text counters
+//	curl -s localhost:8417/metrics          # Prometheus text exposition
 //	curl -s localhost:8417/debug/vars | jq .capsim
 //
 // The server only reads atomics; it cannot perturb the simulation, and
@@ -38,40 +38,21 @@ func publishExpvar() {
 // Handler returns the live-endpoint HTTP handler:
 //
 //	/            one-line index
-//	/metrics     plain-text name/value lines (counters, gauges, histograms)
+//	/metrics     Prometheus text exposition (prom.go)
 //	/debug/vars  standard expvar JSON, including the "capsim" snapshot
 func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", metricsText)
+	mux.HandleFunc("/metrics", metricsProm)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "capsim live telemetry — /metrics (text), /debug/vars (expvar JSON)\n")
+		fmt.Fprintf(w, "capsim live telemetry — /metrics (Prometheus text), /debug/vars (expvar JSON)\n")
 	})
 	return mux
-}
-
-// metricsText renders the registry in a flat, grep-able text format.
-func metricsText(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s := TakeSnapshot()
-	for _, n := range s.SortedCounterNames() {
-		fmt.Fprintf(w, "%s %d\n", n, s.Counters[n])
-	}
-	for _, n := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(w, "%s %d\n", n, s.Gauges[n])
-	}
-	for _, n := range sortedKeys(s.Histograms) {
-		h := s.Histograms[n]
-		fmt.Fprintf(w, "%s{count} %d\n", n, h.Count)
-		fmt.Fprintf(w, "%s{sum} %d\n", n, h.Sum)
-		fmt.Fprintf(w, "%s{p50} %d\n", n, h.P50)
-		fmt.Fprintf(w, "%s{p99} %d\n", n, h.P99)
-	}
 }
 
 // sortedKeys yields deterministic render order (maps iterate randomly).

@@ -54,6 +54,14 @@ type RunRequest struct {
 	// NoCache forces a fresh execution, bypassing (and not populating) the
 	// response cache. For benchmarking the service itself.
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// Stream switches the response to a live flight-recorder feed: NDJSON
+	// ledger lines (or SSE under `Accept: text/event-stream`) with run
+	// columns and sweep progress as they happen, terminated by a "result"
+	// line carrying the ordinary RunResponse (or an in-band "error" line).
+	// Streamed runs always execute fresh — events are the product, so the
+	// response cache and request coalescing are bypassed like NoCache.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // httpError carries an HTTP status through the run pipeline to the handler.

@@ -300,6 +300,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Stream {
+		s.handleStream(w, r, &req, cfg)
+		return
+	}
+
 	sp := obs.StartSpan("server.run:"+req.Experiment, 0)
 	resp, err := s.execute(r.Context(), &req, cfg)
 	if err != nil {
@@ -323,30 +328,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // failure belongs to the request that suffered it (timeout, drain, transient
 // budget problem), not to the configuration.
 func (s *Server) execute(reqCtx context.Context, req *RunRequest, cfg experiments.Config) (*RunResponse, error) {
-	// Request context: client disconnect ∧ server drain-expiry ∧ deadline.
-	ctx, cancel := context.WithCancel(reqCtx)
-	defer cancel()
-	stop := context.AfterFunc(s.root, cancel)
-	defer stop()
-	timeout := s.opt.RunTimeout
-	if d := time.Duration(req.TimeoutMS) * time.Millisecond; d > 0 && (timeout == 0 || d < timeout) {
-		timeout = d
-	}
-	if timeout > 0 {
-		var tcancel context.CancelFunc
-		ctx, tcancel = context.WithTimeout(ctx, timeout)
-		defer tcancel()
-	}
-
-	// Per-request worker override, context-scoped so concurrent requests
-	// with different parallel settings never race a process global.
-	workers := req.Parallel
-	if workers > s.opt.MaxParallel {
-		workers = s.opt.MaxParallel
-	}
-	if workers > 0 {
-		ctx = sweep.WithWorkers(ctx, workers)
-	}
+	// Request context: client disconnect ∧ server drain-expiry ∧ deadline,
+	// plus the context-scoped worker override (concurrent requests with
+	// different parallel settings never race a process global). Shared with
+	// the streaming path (stream.go).
+	ctx, cleanup := s.runCtx(reqCtx, req)
+	defer cleanup()
 
 	if s.cache == nil || req.NoCache {
 		return s.compute(ctx, req.Experiment, cfg)

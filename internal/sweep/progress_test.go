@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"capsim/internal/flight"
+)
+
+// progressSink records progress pulses; runs are ignored.
+type progressSink struct {
+	mu    sync.Mutex
+	pulse []flight.Progress
+}
+
+func (s *progressSink) WriteRun(int64, flight.RunMeta, []flight.Event, flight.RunEnd) error {
+	return nil
+}
+
+func (s *progressSink) WriteProgress(p flight.Progress) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pulse = append(s.pulse, p)
+	return nil
+}
+
+// Both pool paths emit one pulse per completed job when a collector is
+// active, with Done reaching Total.
+func TestRunNCtxFlightProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := &progressSink{}
+		ctx := flight.WithCollector(context.Background(), flight.NewCollector(s))
+		const n = 12
+		if _, err := RunNCtx(ctx, workers, n, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(s.pulse) != n {
+			t.Fatalf("workers=%d: got %d pulses, want %d", workers, len(s.pulse), n)
+		}
+		maxDone := 0
+		for _, p := range s.pulse {
+			if p.Total != n || p.Label != "sweep" {
+				t.Fatalf("workers=%d: bad pulse %+v", workers, p)
+			}
+			if p.Done > maxDone {
+				maxDone = p.Done
+			}
+		}
+		if maxDone != n {
+			t.Fatalf("workers=%d: max Done %d, want %d", workers, maxDone, n)
+		}
+	}
+}
+
+// Without a collector, results are identical and nothing is published — the
+// recorder is invisible to the pool's determinism contract.
+func TestRunNCtxNoCollectorIdentical(t *testing.T) {
+	base, err := RunNCtx(context.Background(), 3, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &progressSink{}
+	ctx := flight.WithCollector(context.Background(), flight.NewCollector(s))
+	rec, err := RunNCtx(ctx, 3, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != rec[i] {
+			t.Fatalf("results diverged at %d", i)
+		}
+	}
+}

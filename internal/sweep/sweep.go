@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"capsim/internal/flight"
 	"capsim/internal/obs"
 )
 
@@ -169,6 +170,10 @@ func RunNCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, erro
 		workers = n
 	}
 	obsRuns.Inc1()
+	// Flight-recorder progress: one pulse per completed job so a streaming
+	// client sees movement during long sweeps. Checked once per pass; plain
+	// runs pay one ctx.Value + one atomic load.
+	prog := flight.Active(ctx)
 	if workers == 1 {
 		// Serial fast path: no goroutines, no synchronization. This is the
 		// baseline the determinism tests compare parallel runs against. The
@@ -191,6 +196,9 @@ func RunNCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, erro
 					return nil, err
 				}
 				results[i] = v
+				if prog {
+					flight.PublishProgress(ctx, flight.Progress{Done: i + 1, Total: n, Label: "sweep"})
+				}
 			}
 			return results, nil
 		}
@@ -203,6 +211,9 @@ func RunNCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, erro
 				return nil, err
 			}
 			results[i] = v
+			if prog {
+				flight.PublishProgress(ctx, flight.Progress{Done: i + 1, Total: n, Label: "sweep"})
+			}
 		}
 		return results, nil
 	}
@@ -260,7 +271,10 @@ func RunNCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, erro
 				} else {
 					results[i], errs[i] = fn(i)
 				}
-				executed.Add(1)
+				done := executed.Add(1)
+				if prog {
+					flight.PublishProgress(ctx, flight.Progress{Done: int(done), Total: n, Label: "sweep"})
+				}
 				if errs[i] != nil {
 					for {
 						cur := minErr.Load()

@@ -13,11 +13,16 @@
 #   4. Cancelling the slow request (client disconnect) stops its sweep
 #      early: the run slot frees long before the run's full budget could
 #      have completed.
-#   5. SIGTERM drains gracefully: the process exits 0 and confirms the
+#   5. A `stream: true` POST yields valid NDJSON — a ledger header line
+#      first, a terminal "result" line last — and the result's render is
+#      byte-identical to the CLI's.
+#   6. Disconnecting a streamed run mid-feed cancels it: in_flight returns
+#      to zero, same contract as the buffered path.
+#   7. SIGTERM drains gracefully: the process exits 0 and confirms the
 #      drain. (Drain-cancels-in-flight-runs is locked by the package's
 #      TestDrain; here the smoke proves the process-level signal path.)
 #
-# Requires: go, curl. Uses no fixed ports and writes only under /tmp.
+# Requires: go, curl, jq. Uses no fixed ports and writes only under /tmp.
 set -eu
 
 GO=${GO:-go}
@@ -122,10 +127,38 @@ kill "$SLOW_CURL" 2>/dev/null || true
 wait "$SLOW_CURL" 2>/dev/null || true
 wait_until 10 in_flight_is 0 || fail "cancelled request did not release its run slot (sweep kept running)"
 
-# --- 5. graceful drain on SIGTERM ------------------------------------------
+# --- 5. streamed run: valid NDJSON, final render byte-identical -------------
+code=$(curl -s -N -o "$TMP/stream.ndjson" -w '%{http_code}' \
+    -X POST "$BASE/v1/run" -H 'Content-Type: application/json' \
+    -d '{"experiment":"fig10","parallel":2,"queue_instrs":3000,"stream":true}')
+[ "$code" = "200" ] || fail "streamed POST returned $code: $(cat "$TMP/stream.ndjson")"
+jq -c . < "$TMP/stream.ndjson" > /dev/null 2>&1 || fail "stream is not valid NDJSON"
+[ "$(head -n1 "$TMP/stream.ndjson" | jq -r '.t')" = "ledger" ] \
+    || fail "stream does not open with the ledger header line"
+[ "$(tail -n1 "$TMP/stream.ndjson" | jq -r '.t')" = "result" ] \
+    || fail "stream does not end with a result line: $(tail -n1 "$TMP/stream.ndjson")"
+tail -n1 "$TMP/stream.ndjson" | jq -r '.response.render' > "$TMP/stream_render.txt"
+cmp -s "$TMP/cli.txt" "$TMP/stream_render.txt" || {
+    diff "$TMP/cli.txt" "$TMP/stream_render.txt" >&2 || true
+    fail "streamed result render differs from CLI render"
+}
+[ "$(tail -n1 "$TMP/stream.ndjson" | jq -r '.response.cached')" = "false" ] \
+    || fail "streamed run claims cached (streams must bypass the response cache)"
+
+# --- 6. mid-stream disconnect frees the run slot ----------------------------
+curl -s -N -o "$TMP/stream_slow.ndjson" -X POST "$BASE/v1/run" \
+    -H 'Content-Type: application/json' \
+    -d '{"experiment":"fig10","seed":9,"parallel":1,"queue_instrs":1000000,"stream":true}' &
+STREAM_CURL=$!
+wait_until 10 in_flight_is 1 || fail "streamed slow run never occupied the run slot"
+kill "$STREAM_CURL" 2>/dev/null || true
+wait "$STREAM_CURL" 2>/dev/null || true
+wait_until 10 in_flight_is 0 || fail "disconnected stream did not release its run slot"
+
+# --- 7. graceful drain on SIGTERM ------------------------------------------
 kill -TERM "$SRV_PID"
 if wait "$SRV_PID"; then :; else fail "server exited non-zero after SIGTERM"; fi
 SRV_PID=""
 grep -q 'drained' "$LOG" || fail "server log missing drain confirmation"
 
-echo "serve-smoke ok (render byte-identical to CLI; cache, 429 and drain exercised)"
+echo "serve-smoke ok (render byte-identical to CLI; cache, 429, streaming and drain exercised)"

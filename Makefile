@@ -14,15 +14,17 @@
 # the persistent study cache's warm-vs-cold win); `make bench-policy`
 # regenerates BENCH_policy.json (direct per-policy simulation vs the
 # one-pass interval-family replay on the Section 6 suite, with the
-# classification tier's compression ratio); `make bench-compare`
-# prints the old-vs-new profiling micro-benchmark deltas. Every bench-*
+# classification tier's compression ratio); `make bench-zoo` regenerates
+# BENCH_zoo.json (the policy-zoo league race, serial vs 8-way parallel);
+# `make bench-compare` prints the old-vs-new profiling micro-benchmark
+# deltas. Every bench-*
 # record target refuses to overwrite a record whose recorded command no
 # longer matches the built flags (scripts/bench_guard.sh); pass FORCE=1 to
 # regenerate intentionally.
 
 GO ?= go
 
-.PHONY: all build test short race ci-race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke bench-policy bench-policy-smoke serve-smoke clean
+.PHONY: all build test short race ci-race vet fmt staticcheck ci bench bench-compare bench-compare-smoke bench-onepass bench-queue bench-queue-smoke bench-obs bench-obs-smoke bench-joint bench-joint-smoke bench-shard bench-shard-smoke bench-policy bench-policy-smoke bench-zoo bench-zoo-smoke serve-smoke clean
 
 all: build
 
@@ -71,7 +73,7 @@ staticcheck:
 		echo "WARNING: staticcheck unavailable and install failed (offline?); static analysis SKIPPED"; \
 	fi
 
-ci: fmt vet staticcheck build ci-race race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke bench-policy-smoke serve-smoke
+ci: fmt vet staticcheck build ci-race race bench-compare-smoke bench-queue-smoke bench-obs-smoke bench-joint-smoke bench-shard-smoke bench-policy-smoke bench-zoo-smoke serve-smoke
 
 # serve-smoke boots the experiment API server (-serve-api) on an ephemeral
 # port and proves the service contract end to end: POST /v1/run renders
@@ -323,6 +325,56 @@ bench-policy-smoke:
 		{ echo "policy replay rendered differently from direct simulation"; exit 1; }
 	@echo "bench-policy smoke ok (replay byte-identical to direct simulation)"
 
+# bench-zoo writes BENCH_zoo.json: the full policy-zoo league race (every
+# contender + fixed baselines + oracle across the app x penalty grid, each
+# cell one study row) measured at -parallel 1 and at -parallel 8, each in a
+# fresh process so the study memos are cold. Compare total_wall_ns between
+# the elements for the cell fan-out speedup.
+bench-zoo:
+	@FORCE=$(FORCE) sh scripts/bench_guard.sh BENCH_zoo.json \
+		"capsim -experiment zoo -parallel 1 -bench-json /tmp/capsim_bench_zoo_serial.json" \
+		"capsim -experiment zoo -parallel 8 -bench-json /tmp/capsim_bench_zoo_parallel.json"
+	$(GO) run ./cmd/capsim -experiment zoo -parallel 1 -bench-json /tmp/capsim_bench_zoo_serial.json >/dev/null
+	$(GO) run ./cmd/capsim -experiment zoo -parallel 8 -bench-json /tmp/capsim_bench_zoo_parallel.json >/dev/null
+	{ printf '[\n'; cat /tmp/capsim_bench_zoo_serial.json; printf ',\n'; \
+	  cat /tmp/capsim_bench_zoo_parallel.json; printf ']\n'; } > BENCH_zoo.json
+	@echo "wrote BENCH_zoo.json"
+
+# bench-zoo-smoke is the ci-gated variant: a tiny-budget zoo run proving
+# the league render is byte-identical at 1 vs 4 workers and under a 2-way
+# shard coordinator merging through a fresh persistent study cache, and
+# that `capsim -report` over the ledger the run emits reproduces the league
+# tables byte-for-byte (the experiment header and timing footer are
+# stripped, plus the blank separators the experiment renderer leaves before
+# its footer; every table byte must match).
+bench-zoo-smoke:
+	@$(GO) run ./cmd/capsim -experiment zoo -parallel 1 -queue-instrs 3000 \
+		| grep -v '^(zoo in ' > /tmp/capsim_zoo_p1.txt
+	@$(GO) run ./cmd/capsim -experiment zoo -parallel 4 -queue-instrs 3000 \
+		| grep -v '^(zoo in ' > /tmp/capsim_zoo_p4.txt
+	@cmp /tmp/capsim_zoo_p1.txt /tmp/capsim_zoo_p4.txt || \
+		{ echo "zoo rendered differently at 1 vs 4 workers"; exit 1; }
+	@rm -rf /tmp/capsim_zoo_smoke && mkdir -p /tmp/capsim_zoo_smoke
+	@$(GO) run ./cmd/capsim -experiment zoo -parallel 2 -queue-instrs 3000 \
+		-shard-coordinator 2 -study-cache /tmp/capsim_zoo_smoke/cache \
+		| grep -v '^(zoo in ' > /tmp/capsim_zoo_shard.txt
+	@cmp /tmp/capsim_zoo_p1.txt /tmp/capsim_zoo_shard.txt || \
+		{ echo "sharded zoo rendered differently from unsharded"; exit 1; }
+	@$(GO) run ./cmd/capsim -experiment zoo -parallel 2 -queue-instrs 3000 \
+		-ledger-out /tmp/capsim_zoo_smoke/zoo.ledger.gz 2>/dev/null \
+		> /tmp/capsim_zoo_direct_full.txt
+	@$(GO) run ./cmd/capsim -report /tmp/capsim_zoo_smoke/zoo.ledger.gz \
+		> /tmp/capsim_zoo_report_full.txt
+	@sed -n '/^league:/,$$p' /tmp/capsim_zoo_direct_full.txt | grep -v '^(zoo in ' \
+		| awk '{l[NR]=$$0} END{n=NR; while(n>0 && l[n]=="") n--; for(i=1;i<=n;i++) print l[i]}' \
+		> /tmp/capsim_zoo_direct.txt
+	@sed -n '/^league:/,$$p' /tmp/capsim_zoo_report_full.txt \
+		| awk '{l[NR]=$$0} END{n=NR; while(n>0 && l[n]=="") n--; for(i=1;i<=n;i++) print l[i]}' \
+		> /tmp/capsim_zoo_report.txt
+	@cmp /tmp/capsim_zoo_direct.txt /tmp/capsim_zoo_report.txt || \
+		{ echo "capsim -report did not reproduce the zoo league tables"; exit 1; }
+	@echo "bench-zoo smoke ok (renders byte-identical at 1 vs 4 workers and sharded vs unsharded; -report reproduces the league)"
+
 clean:
 	rm -f /tmp/capsim_bench_serial.json /tmp/capsim_bench_parallel.json \
 	  /tmp/capsim_bench_obs_f7_off.json /tmp/capsim_bench_obs_f7_on.json \
@@ -341,6 +393,10 @@ clean:
 	  /tmp/capsim_q_event.txt /tmp/capsim_q_scan.txt \
 	  /tmp/capsim_bench_joint_legacy.json /tmp/capsim_bench_joint_onepass.json \
 	  /tmp/capsim_joint_one.txt /tmp/capsim_joint_leg.txt \
-	  /tmp/capsim_policy_one.txt /tmp/capsim_policy_leg.txt
+	  /tmp/capsim_policy_one.txt /tmp/capsim_policy_leg.txt \
+	  /tmp/capsim_bench_zoo_serial.json /tmp/capsim_bench_zoo_parallel.json \
+	  /tmp/capsim_zoo_p1.txt /tmp/capsim_zoo_p4.txt /tmp/capsim_zoo_shard.txt \
+	  /tmp/capsim_zoo_direct_full.txt /tmp/capsim_zoo_report_full.txt \
+	  /tmp/capsim_zoo_direct.txt /tmp/capsim_zoo_report.txt
 	rm -rf /tmp/capsim_serve_smoke /tmp/capsim_shard_smoke /tmp/capsim_bench_shard \
-	  /tmp/capsim_bench_policy
+	  /tmp/capsim_bench_policy /tmp/capsim_zoo_smoke

@@ -91,6 +91,9 @@ func BenchmarkAblationBpred(b *testing.B) { benchExperiment(b, "ablation-bpred")
 // Extension: the full Figure 5 processor — joint cache+queue adaptation.
 func BenchmarkAblationCombined(b *testing.B) { benchExperiment(b, "ablation-combined") }
 
+// Extension: the policy-zoo league race (contenders + baselines + oracle).
+func BenchmarkZoo(b *testing.B) { benchExperiment(b, "zoo") }
+
 // --- Micro-benchmarks of the simulation substrates -----------------------
 
 func BenchmarkCacheAccess(b *testing.B) {

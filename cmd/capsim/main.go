@@ -15,6 +15,7 @@
 //	capsim -experiment all -serve :8417                # live expvar endpoint
 //	capsim -experiment fig10 -obs-assert               # runtime invariant checks
 //	capsim -experiment ablation-interval -ledger-out run.ledger.gz  # flight recorder
+//	capsim -experiment zoo -ledger-out zoo.ledger.gz   # policy league race
 //	capsim -report run.ledger.gz,run.json              # offline regret analysis
 //
 // Output is byte-identical at every -parallel setting: simulation jobs derive

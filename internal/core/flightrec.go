@@ -115,13 +115,21 @@ func (mp *MultiPolicy) publishTraceRuns(ctx context.Context, cycles, issued [][]
 		meta := mp.flightMeta("trace:"+mp.sources[i].Label, flight.KindTrace)
 		flight.Publish(ctx, meta, evs, flightEnd(intervals, instrs, 0, timeNS, regretNS))
 	}
+	evs, instrs, switches, timeNS := mp.oracleColumn(cycles, issued, oCfg, oNS, intervals, true)
+	meta := mp.flightMeta("oracle", flight.KindOracle)
+	flight.Publish(ctx, meta, evs, flightEnd(intervals, instrs, switches, timeNS, 0))
+}
 
-	var (
-		timeNS   float64
-		instrs   int64
-		switches int64
-	)
-	evs := make([]flight.Event, intervals)
+// oracleColumn assembles the synthesized oracle run from the family's raw
+// outcome rows: every interval advances by the oracle's minimal time on the
+// oracle's config, switches are free of charge (the oracle bounds achievable
+// time, it does not model a realizable controller), and regret is zero by
+// construction. Events are built only when rec; the accumulators always are,
+// in the same float operation order either way.
+func (mp *MultiPolicy) oracleColumn(cycles, issued [][]int64, oCfg []int, oNS []float64, intervals int64, rec bool) (evs []flight.Event, instrs, switches int64, timeNS float64) {
+	if rec {
+		evs = make([]flight.Event, intervals)
+	}
 	for iv := int64(0); iv < intervals; iv++ {
 		c := oCfg[iv]
 		adv := oNS[iv]
@@ -131,21 +139,50 @@ func (mp *MultiPolicy) publishTraceRuns(ctx context.Context, cycles, issued [][]
 		if switched {
 			switches++
 		}
-		evs[iv] = flight.Event{
-			Interval:  iv,
-			Config:    c,
-			Size:      mp.sizes[c],
-			Cycles:    cycles[c][iv],
-			Issued:    issued[c][iv],
-			PeriodNS:  mp.cycs[c],
-			AdvNS:     adv,
-			CumTimeNS: timeNS,
-			TPI:       adv / float64(issued[c][iv]),
-			OracleCfg: c,
-			OracleNS:  adv,
-			Switched:  switched,
+		if rec {
+			evs[iv] = flight.Event{
+				Interval:  iv,
+				Config:    c,
+				Size:      mp.sizes[c],
+				Cycles:    cycles[c][iv],
+				Issued:    issued[c][iv],
+				PeriodNS:  mp.cycs[c],
+				AdvNS:     adv,
+				CumTimeNS: timeNS,
+				TPI:       adv / float64(issued[c][iv]),
+				OracleCfg: c,
+				OracleNS:  adv,
+				Switched:  switched,
+			}
 		}
 	}
-	meta := mp.flightMeta("oracle", flight.KindOracle)
-	flight.Publish(ctx, meta, evs, flightEnd(intervals, instrs, switches, timeNS, 0))
+	return evs, instrs, switches, timeNS
+}
+
+// RunOracle synthesizes the per-interval oracle as a first-class run: the
+// TIME-domain minimum over the interval family at every interval, charged no
+// reconfiguration costs. It is the zero line every regret column is measured
+// against; the zoo experiment races it alongside the real contenders so the
+// league table carries its own reference. When the recorder is active the
+// column is published under kind "oracle" with cumulative regret exactly 0.
+func (mp *MultiPolicy) RunOracle(ctx context.Context, intervals int64) (RunResult, error) {
+	fam, err := familyFor(mp.b, mp.seed, mp.sizes, mp.n)
+	if err != nil {
+		return RunResult{}, err
+	}
+	cycles, issued, err := fam.rows(ctx, intervals)
+	if err != nil {
+		return RunResult{}, err
+	}
+	oCfg, oNS := mp.flightOracle(cycles, intervals)
+	rec := flight.Active(ctx)
+	evs, instrs, switches, timeNS := mp.oracleColumn(cycles, issued, oCfg, oNS, intervals, rec)
+	res := RunResult{Policy: "oracle", Instrs: instrs, TimeNS: timeNS, Switches: switches}
+	if instrs != 0 {
+		res.TPI = timeNS / float64(instrs)
+	}
+	if rec {
+		flight.Publish(ctx, mp.flightMeta("oracle", flight.KindOracle), evs, flightEnd(intervals, instrs, switches, timeNS, 0))
+	}
+	return res, nil
 }

@@ -39,6 +39,10 @@ func TestMultiPolicyTransitionCosts(t *testing.T) {
 					FixedPolicy{Config: 0},
 					FixedPolicy{Config: 1},
 					&IntervalPolicy{Configs: []int{0, 1}},
+					&HysteresisPolicy{Configs: []int{0, 1}},
+					&PIDPolicy{Configs: []int{0, 1}},
+					&SlopeBanditPolicy{Configs: []int{0, 1}},
+					&ProfileThenCommitPolicy{Configs: []int{0, 1}},
 				}
 			}
 			// Policies are stateful: build fresh instances for each path.
@@ -86,6 +90,10 @@ func TestMultiPolicyRaceLockstep(t *testing.T) {
 			{Policy: &IntervalPolicy{Configs: []int{0, 1}}},
 			{Policy: FixedPolicy{Config: 1}},
 			{Policy: &IntervalPolicy{Configs: []int{0, 1}, ConfidenceMax: 3}},
+			{Policy: &HysteresisPolicy{Configs: []int{0, 1}}},
+			{Policy: &PIDPolicy{Configs: []int{0, 1}}},
+			{Policy: &SlopeBanditPolicy{Configs: []int{0, 1}}},
+			{Policy: &ProfileThenCommitPolicy{Configs: []int{0, 1}}},
 		}
 		raced, err := mp.Race(ctx, specs, intervals)
 		if err != nil {
@@ -95,6 +103,10 @@ func TestMultiPolicyRaceLockstep(t *testing.T) {
 			&IntervalPolicy{Configs: []int{0, 1}},
 			FixedPolicy{Config: 1},
 			&IntervalPolicy{Configs: []int{0, 1}, ConfidenceMax: 3},
+			&HysteresisPolicy{Configs: []int{0, 1}},
+			&PIDPolicy{Configs: []int{0, 1}},
+			&SlopeBanditPolicy{Configs: []int{0, 1}},
+			&ProfileThenCommitPolicy{Configs: []int{0, 1}},
 		}
 		for j, p := range direct {
 			var leg RunResult

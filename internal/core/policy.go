@@ -5,6 +5,44 @@ import (
 	"math"
 )
 
+// Tunable-defaulting convention, shared by every adaptive policy in this
+// package (IntervalPolicy and the zoo contenders in zoo.go): the Go zero
+// value of a tunable selects its documented default, so short struct
+// literals keep working, and a NEGATIVE value selects an explicit zero —
+// which the zero value cannot express. &IntervalPolicy{MinGain: -1} demands
+// "switch on any gain"; ExplorePeriod: -1 disables exploration outright.
+// Without the sentinel, an explicitly configured zero was silently coerced
+// back to the default.
+func tunableF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func tunableI(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func tunableI64(v, def int64) int64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // FixedPolicy never reconfigures: it models a conventional processor whose
 // complexity was frozen at design time (the paper's baselines).
 type FixedPolicy struct {
@@ -93,16 +131,31 @@ type IntervalPolicy struct {
 	// Configs are the candidate configuration IDs.
 	Configs []int
 	// MinGain is the fractional TPI improvement required to switch
-	// (default 0.03).
+	// (default 0.03; negative means zero: switch on any gain).
 	MinGain float64
-	// ConfidenceMax is the saturating-counter threshold (default 2).
+	// ConfidenceMax is the saturating-counter threshold (default 2;
+	// negative means zero: switch without confidence buildup).
 	ConfidenceMax int
 	// ExplorePeriod is how many intervals between exploration visits to a
-	// stale configuration (default 32). Exploration is what keeps the
-	// per-configuration estimates fresh without continuous sampling.
+	// stale configuration (default 64; negative disables exploration).
+	// Drift detection (DriftGain) is the primary phase-change trigger;
+	// periodic exploration is the staleness backstop that catches regime
+	// shifts too small for the drift detector to see from the incumbent,
+	// so it can afford a sparse cadence.
 	ExplorePeriod int64
-	// Alpha is the EWMA weight of a new sample (default 0.5).
+	// Alpha is the EWMA weight of a new sample (default 0.5; negative
+	// means zero: estimates freeze at their first sample).
 	Alpha float64
+	// DriftGain is the fractional deviation of a fresh incumbent sample
+	// from its smoothed estimate that signals a phase change and forces an
+	// immediate re-exploration sweep — the paper's observation that
+	// performance variation, not a timer, is what should trigger
+	// re-evaluation. Default 0.08: tight enough to see a flip that moves
+	// the incumbent's TPI only a few percent (a saturated structure can be
+	// nearly phase-blind even when the clock-rate tradeoff has flipped),
+	// while the driftConfirm streak screens out one-interval jitter.
+	// Negative means zero: any deviation re-sweeps.
+	DriftGain float64
 
 	est        map[int]float64
 	seen       map[int]bool
@@ -111,6 +164,8 @@ type IntervalPolicy struct {
 	intervals  int64
 	exploreIdx int
 	exploring  bool
+	driftRun   int
+	fresh      bool
 	current    int
 	inited     bool
 }
@@ -119,22 +174,16 @@ type IntervalPolicy struct {
 func (p *IntervalPolicy) Name() string { return "interval-adaptive" }
 
 func (p *IntervalPolicy) defaults() {
-	if p.MinGain == 0 {
-		p.MinGain = 0.03
+	if p.est != nil {
+		return
 	}
-	if p.ConfidenceMax == 0 {
-		p.ConfidenceMax = 2
-	}
-	if p.ExplorePeriod == 0 {
-		p.ExplorePeriod = 32
-	}
-	if p.Alpha == 0 {
-		p.Alpha = 0.5
-	}
-	if p.est == nil {
-		p.est = make(map[int]float64, len(p.Configs))
-		p.seen = make(map[int]bool, len(p.Configs))
-	}
+	p.MinGain = tunableF(p.MinGain, 0.03)
+	p.ConfidenceMax = tunableI(p.ConfidenceMax, 2)
+	p.ExplorePeriod = tunableI64(p.ExplorePeriod, 64)
+	p.Alpha = tunableF(p.Alpha, 0.5)
+	p.DriftGain = tunableF(p.DriftGain, 0.08)
+	p.est = make(map[int]float64, len(p.Configs))
+	p.seen = make(map[int]bool, len(p.Configs))
 }
 
 // Next implements Policy.
@@ -149,37 +198,78 @@ func (p *IntervalPolicy) Next(m *Monitor) int {
 	}
 	last, ok := m.Last()
 	if ok {
-		if old, have := p.est[last.Config]; have {
-			p.est[last.Config] = old*(1-p.Alpha) + last.TPI*p.Alpha
-		} else {
+		switch {
+		case last.Config == p.current && driftTripped(p.est[last.Config], last.TPI, p.DriftGain):
+			p.driftRun++
+			if p.driftRun >= driftConfirm {
+				// Confirmed phase flip seen from inside the incumbent: the
+				// whole estimate table describes the old regime. Restart it
+				// — the fresh sample verbatim, every other configuration
+				// re-swept — and drop any half-built confidence in an
+				// old-regime candidate.
+				p.est = map[int]float64{last.Config: last.TPI}
+				for _, id := range p.Configs {
+					if id != p.current {
+						delete(p.seen, id)
+					}
+				}
+				p.confidence, p.candidate = 0, -1
+				p.driftRun = 0
+				p.fresh = true
+			}
+			// Streak pending: freeze the estimate as the old-regime
+			// reference (see driftConfirm in zoo.go).
+		case last.Config == p.current:
+			p.driftRun = 0
+			ewmaUpdate(p.est, last.Config, last.TPI, p.Alpha)
+		case driftTripped(p.est[last.Config], last.TPI, p.DriftGain):
+			// An exploration visit contradicting its own stale estimate is
+			// phase-flip evidence from the one vantage point incumbent drift
+			// detection cannot cover: a flip that leaves the incumbent's TPI
+			// unchanged while redrawing the rest of the menu. Take the sample
+			// verbatim — EWMA-blending it into the old regime's level would
+			// leave the estimate too stale to ever clear MinGain. Unlike a
+			// confirmed drift streak this is a single sample, so it does NOT
+			// bypass the confidence gate: a one-interval blip on a probe must
+			// still build ConfidenceMax intervals of agreement to switch.
 			p.est[last.Config] = last.TPI
+		default:
+			ewmaUpdate(p.est, last.Config, last.TPI, p.Alpha)
 		}
-		p.seen[last.Config] = true
 	}
 	p.intervals++
 
-	// Bootstrap: visit every configuration once to fill the table.
+	// Bootstrap: visit every configuration once to fill the table. A
+	// configuration is marked seen when DISPATCHED, not when its sample
+	// returns: a visit that never produces a Monitor.Last() sample (a
+	// zero-interval run, or a driver polling Next without recording) must
+	// not be re-explored forever.
 	for _, id := range p.Configs {
 		if !p.seen[id] {
+			p.seen[id] = true
 			p.exploring = true
 			return id
 		}
 	}
 
-	// Returning from an exploration visit: fall back to the incumbent
-	// (the visit's sample has already updated the estimates).
-	if p.exploring {
-		p.exploring = false
-		return p.current
-	}
+	// Returning from an exploration visit: the visit's sample has already
+	// updated the estimates, so fall straight through to the prediction
+	// instead of coasting an interval at the incumbent — when the visit
+	// just revealed a regime change, that coasting interval is pure regret.
+	p.exploring = false
 
-	// Periodic exploration to refresh stale estimates.
+	// Periodic exploration to refresh stale estimates. The rotation skips
+	// over the incumbent (its estimate refreshes every interval for free)
+	// so that EVERY period probes a genuinely stale configuration — a
+	// rotation that silently lands on the incumbent would stretch the
+	// effective revisit time past the phase lengths being tracked.
 	if p.ExplorePeriod > 0 && p.intervals%p.ExplorePeriod == 0 && len(p.Configs) > 1 {
-		p.exploreIdx = (p.exploreIdx + 1) % len(p.Configs)
-		id := p.Configs[p.exploreIdx]
-		if id != p.current {
-			p.exploring = true
-			return id
+		for range p.Configs {
+			p.exploreIdx = (p.exploreIdx + 1) % len(p.Configs)
+			if id := p.Configs[p.exploreIdx]; id != p.current {
+				p.exploring = true
+				return id
+			}
 		}
 	}
 
@@ -192,19 +282,33 @@ func (p *IntervalPolicy) Next(m *Monitor) int {
 	}
 	cur := p.est[p.current]
 	if best != p.current && cur > 0 && (cur-bestTPI)/cur >= p.MinGain {
-		if best == p.candidate {
-			p.confidence++
-		} else {
-			p.candidate, p.confidence = best, 1
-		}
-		if p.confidence >= p.ConfidenceMax {
+		switch {
+		case p.fresh:
+			// The estimates were just rebuilt from direct regime evidence
+			// (a confirmed drift streak, or a visit contradicting its own
+			// estimate). The confidence counter exists to screen prediction
+			// jitter, which this is not: re-building it here would charge
+			// ConfidenceMax extra wrong-configuration intervals per phase
+			// change.
 			p.current = best
-			p.confidence = 0
-			p.candidate = -1
+			p.confidence, p.candidate = 0, -1
+		case best == p.candidate:
+			p.confidence++
+			if p.confidence >= p.ConfidenceMax {
+				p.current = best
+				p.confidence, p.candidate = 0, -1
+			}
+		default:
+			p.candidate, p.confidence = best, 1
+			if p.confidence >= p.ConfidenceMax {
+				p.current = best
+				p.confidence, p.candidate = 0, -1
+			}
 		}
 	} else {
 		p.confidence = 0
 		p.candidate = -1
 	}
+	p.fresh = false // regime evidence is consumed by one prediction
 	return p.current
 }

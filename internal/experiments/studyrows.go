@@ -8,6 +8,7 @@ import (
 	"capsim/internal/cache"
 	"capsim/internal/classify"
 	"capsim/internal/core"
+	"capsim/internal/flight"
 	"capsim/internal/memo"
 	"capsim/internal/sweep"
 	"capsim/internal/tech"
@@ -200,4 +201,16 @@ func combinedRow(app string, seed uint64, points []core.CombinedConfig, p cache.
 // branch-predictor ablations; key is the caller's full canonical cell key.
 func scalarRow(key string, fn func() (float64, error)) (float64, error) {
 	return studyRow(key, func() float64 { return 0 }, fn)
+}
+
+// zooRow is the row behind the zoo experiment: one (application, penalty)
+// cell's complete pass — oracle, fixed baselines, and the contender race —
+// reduced to league summaries. Summaries are what the tables render from, so
+// the persisted value stays small (no event columns) and a warm store
+// re-renders byte-identically. The key carries the contender roster: a
+// changed zoo must miss the cache.
+func zooRow(cfg Config, app string, pen int, intervals int64, fn func() ([]flight.RunSummary, error)) ([]flight.RunSummary, error) {
+	key := fmt.Sprintf("zoo|seed=%d|iv=%d|pen=%d|f=%g|sizes=%v|n=%d|policies=%s|app=%s",
+		cfg.Seed, cfg.IntervalInstrs, pen, float64(cfg.Feature), zooSizes, intervals, zooPolicyNames(), app)
+	return studyRow(key, func() []flight.RunSummary { return nil }, fn)
 }

@@ -322,8 +322,15 @@ func TestParseLedgerTruncated(t *testing.T) {
 	}
 	cut := b.String()
 	cut = cut[:strings.LastIndex(strings.TrimRight(cut, "\n"), "\n")+1]
-	if _, err := ParseLedger(strings.NewReader(cut)); err == nil || !strings.Contains(err.Error(), "truncated") {
-		t.Fatalf("want truncated-ledger error, got %v", err)
+	l, err := ParseLedger(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("mid-run cut must degrade to a warning, got error: %v", err)
+	}
+	if len(l.Runs) != 0 {
+		t.Fatalf("endless run kept: %d runs", len(l.Runs))
+	}
+	if len(l.Warnings) == 0 || !strings.Contains(l.Warnings[0], "no end line") {
+		t.Fatalf("want no-end-line warning, got %v", l.Warnings)
 	}
 }
 

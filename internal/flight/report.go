@@ -3,13 +3,13 @@ package flight
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
-	"capsim/internal/metrics"
 	"capsim/internal/obs"
 )
 
@@ -17,6 +17,10 @@ import (
 type Ledger struct {
 	Schema string
 	Runs   []LedgerRun
+	// Warnings records recoverable damage — a truncated stream, a partial
+	// final line, runs cut before their end line — that reduced the run set
+	// without failing the parse.
+	Warnings []string
 }
 
 // LedgerRun is one reassembled run column.
@@ -43,10 +47,25 @@ func ReadLedger(path string) (Ledger, error) {
 	return l, nil
 }
 
+// truncationErr reports whether a stream error is the signature of a ledger
+// cut mid-write (killed writer, mid-stream disconnect): an unexpected EOF,
+// or the corrupt-deflate errors a gzip member truncated at an arbitrary
+// byte produces.
+func truncationErr(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var cie flate.CorruptInputError
+	return errors.As(err, &cie)
+}
+
 // ParseLedger reassembles run columns from a ledger line stream. Unknown
-// line types are skipped (forward compatibility within the major schema);
-// a run whose "end" line never arrived — a stream cut mid-run — is dropped
-// with an error, because its totals are not trustworthy.
+// line types are skipped (forward compatibility within the major schema).
+// Damage with a truncation signature is tolerated: a partial FINAL line, a
+// stream error mid-gzip-member, or runs whose "end" line never arrived are
+// reported through Ledger.Warnings and the complete prefix is analyzed. A
+// malformed line with intact lines after it is still a hard error — that is
+// corruption, not truncation.
 func ParseLedger(r io.Reader) (Ledger, error) {
 	var out Ledger
 	runs := map[int64]*LedgerRun{}
@@ -54,24 +73,32 @@ func ParseLedger(r io.Reader) (Ledger, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
+	var pendingErr error
+	pendingLine := 0
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			// The bad line was NOT the final one: corrupt mid-file.
+			return Ledger{}, fmt.Errorf("line %d: %w", pendingLine, pendingErr)
+		}
 		var disc struct {
 			T   string `json:"t"`
 			Run int64  `json:"run"`
 		}
 		if err := json.Unmarshal(line, &disc); err != nil {
-			return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+			pendingErr, pendingLine = err, lineNo
+			continue
 		}
 		switch disc.T {
 		case LineHeader:
 			var h headerLine
 			if err := json.Unmarshal(line, &h); err != nil {
-				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+				pendingErr, pendingLine = err, lineNo
+				continue
 			}
 			if !strings.HasPrefix(h.Schema, "capsim/ledger/") {
 				return Ledger{}, fmt.Errorf("line %d: not a capsim ledger (schema %q)", lineNo, h.Schema)
@@ -80,7 +107,8 @@ func ParseLedger(r io.Reader) (Ledger, error) {
 		case LineRun:
 			var rl runLine
 			if err := json.Unmarshal(line, &rl); err != nil {
-				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+				pendingErr, pendingLine = err, lineNo
+				continue
 			}
 			lr := &LedgerRun{Run: rl.Run, Meta: rl.RunMeta}
 			runs[rl.Run] = lr
@@ -88,7 +116,8 @@ func ParseLedger(r io.Reader) (Ledger, error) {
 		case LineEvent:
 			var el eventLine
 			if err := json.Unmarshal(line, &el); err != nil {
-				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+				pendingErr, pendingLine = err, lineNo
+				continue
 			}
 			lr := runs[el.Run]
 			if lr == nil {
@@ -98,7 +127,8 @@ func ParseLedger(r io.Reader) (Ledger, error) {
 		case LineEnd:
 			var el endLine
 			if err := json.Unmarshal(line, &el); err != nil {
-				return Ledger{}, fmt.Errorf("line %d: %w", lineNo, err)
+				pendingErr, pendingLine = err, lineNo
+				continue
 			}
 			lr := runs[el.Run]
 			if lr == nil {
@@ -113,7 +143,15 @@ func ParseLedger(r io.Reader) (Ledger, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return Ledger{}, err
+		if !truncationErr(err) {
+			return Ledger{}, err
+		}
+		out.Warnings = append(out.Warnings,
+			fmt.Sprintf("stream truncated after line %d (%v); analyzing the complete prefix", lineNo, err))
+	}
+	if pendingErr != nil {
+		out.Warnings = append(out.Warnings,
+			fmt.Sprintf("partial final line %d (%v); analyzing the complete prefix", pendingLine, pendingErr))
 	}
 	if out.Schema == "" {
 		return Ledger{}, fmt.Errorf("no ledger header line")
@@ -121,7 +159,9 @@ func ParseLedger(r io.Reader) (Ledger, error) {
 	for _, id := range order {
 		lr := runs[id]
 		if !lr.ended {
-			return Ledger{}, fmt.Errorf("run %d (%s/%s) has no end line: truncated ledger", id, lr.Meta.Policy, lr.Meta.Kind)
+			out.Warnings = append(out.Warnings,
+				fmt.Sprintf("run %d (%s/%s) has no end line: dropped (cut mid-run)", id, lr.Meta.Policy, lr.Meta.Kind))
+			continue
 		}
 		out.Runs = append(out.Runs, *lr)
 	}
@@ -147,7 +187,7 @@ func ReadReportInput(path string) (ReportInput, error) {
 	}
 	defer r.Close()
 	buf, err := io.ReadAll(r)
-	if err != nil {
+	if err != nil && !truncationErr(err) {
 		return ReportInput{}, fmt.Errorf("%s: %w", path, err)
 	}
 	// A manifest is ONE JSON document; a ledger is many, one per line, so a
@@ -157,42 +197,47 @@ func ReadReportInput(path string) (ReportInput, error) {
 	if jerr := json.Unmarshal(buf, &m); jerr == nil && strings.HasPrefix(m.Schema, "capsim/run-manifest/") {
 		return ReportInput{Path: path, Manifest: &m}, nil
 	}
-	l, err := ParseLedger(bytes.NewReader(buf))
+	l, perr := ParseLedger(bytes.NewReader(buf))
+	if perr != nil {
+		return ReportInput{}, fmt.Errorf("%s: %w", path, perr)
+	}
 	if err != nil {
-		return ReportInput{}, fmt.Errorf("%s: %w", path, err)
+		// The gzip stream itself was cut; the line prefix parsed clean.
+		l.Warnings = append(l.Warnings,
+			fmt.Sprintf("compressed stream truncated (%v); analyzing the complete prefix", err))
 	}
 	return ReportInput{Path: path, Ledger: &l}, nil
 }
 
-// runKey dedups run columns across ledger files: re-recording the same
-// study appends identical columns, and the report must count each once.
-func runKey(m RunMeta, intervals int64) string {
-	return fmt.Sprintf("%s|%v|%d|%d|%s|%s|%d", m.App, m.Sizes, m.N, m.Penalty, m.Policy, m.Kind, intervals)
-}
-
 // Report renders ledger analytics: the per-app policy league table (ranked
 // by total regret), the switch-rate/dwell-time table, and a cross-app
-// per-policy summary.
+// per-policy summary — through the same table builders the zoo experiment
+// renders with, so a report over an experiment's ledger reproduces its
+// tables byte-for-byte.
 func Report(inputs []ReportInput) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "capsim flight report (%s)\n", Schema)
 
 	seen := map[string]bool{}
-	var runs []LedgerRun
+	var runs []RunSummary
 	for _, in := range inputs {
 		switch {
 		case in.Ledger != nil:
 			kept := 0
 			for _, r := range in.Ledger.Runs {
-				k := runKey(r.Meta, r.End.Intervals)
+				s := Summarize(r.Meta, r.Events, r.End)
+				k := SummaryKey(s)
 				if seen[k] {
 					continue
 				}
 				seen[k] = true
-				runs = append(runs, r)
+				runs = append(runs, s)
 				kept++
 			}
 			fmt.Fprintf(&b, "  ledger   %s: %d runs (%d new)\n", in.Path, len(in.Ledger.Runs), kept)
+			for _, w := range in.Ledger.Warnings {
+				fmt.Fprintf(&b, "  warning  %s: %s\n", in.Path, w)
+			}
 		case in.Manifest != nil:
 			fmt.Fprintf(&b, "  manifest %s: %s\n", in.Path, in.Manifest.Command)
 		}
@@ -203,113 +248,11 @@ func Report(inputs []ReportInput) string {
 		return b.String()
 	}
 
-	// League table: per app, ranked by total regret (the oracle, at zero,
-	// leads by construction).
-	sort.SliceStable(runs, func(i, j int) bool {
-		if runs[i].Meta.App != runs[j].Meta.App {
-			return runs[i].Meta.App < runs[j].Meta.App
+	for i, t := range LeagueReport(runs) {
+		if i > 0 {
+			b.WriteByte('\n')
 		}
-		return runs[i].End.CumRegretNS < runs[j].End.CumRegretNS
-	})
-	league := metrics.Table{
-		ID:      "league",
-		Title:   "policy league table (ranked by total regret vs oracle)",
-		Columns: []string{"app", "policy", "kind", "intervals", "tpi_ns", "switches", "regret_ns/iv", "total_regret_ns"},
+		b.WriteString(t.Render())
 	}
-	for _, r := range runs {
-		perIV := 0.0
-		if r.End.Intervals > 0 {
-			perIV = r.End.CumRegretNS / float64(r.End.Intervals)
-		}
-		league.Rows = append(league.Rows, []string{
-			r.Meta.App, r.Meta.Policy, r.Meta.Kind,
-			fmt.Sprint(r.End.Intervals), metrics.F(r.End.TPI),
-			fmt.Sprint(r.End.Switches), metrics.F(perIV), metrics.F(r.End.CumRegretNS),
-		})
-	}
-	b.WriteString(league.Render())
-	b.WriteByte('\n')
-
-	// Switch-rate / dwell-time table: adaptation dynamics per run. Dwell is
-	// the mean run length at one configuration (intervals per switch+1);
-	// residency names the configuration holding the most intervals.
-	dwell := metrics.Table{
-		ID:      "dwell",
-		Title:   "switch rate and dwell time",
-		Columns: []string{"app", "policy", "kind", "switches/1k_iv", "mean_dwell_iv", "top_cfg", "top_cfg_share"},
-	}
-	for _, r := range runs {
-		if r.End.Intervals == 0 {
-			continue
-		}
-		rate := 1000 * float64(r.End.Switches) / float64(r.End.Intervals)
-		md := float64(r.End.Intervals) / float64(r.End.Switches+1)
-		res := map[int]int64{}
-		for _, ev := range r.Events {
-			res[ev.Config]++
-		}
-		top, topN := 0, int64(-1)
-		for cfg, n := range res {
-			if n > topN || (n == topN && cfg < top) {
-				top, topN = cfg, n
-			}
-		}
-		share := float64(topN) / float64(r.End.Intervals)
-		label := "-"
-		if topN >= 0 {
-			label = fmt.Sprint(top)
-			for _, ev := range r.Events {
-				if ev.Config == top {
-					label = fmt.Sprintf("IQ=%d", ev.Size)
-					break
-				}
-			}
-		}
-		dwell.Rows = append(dwell.Rows, []string{
-			r.Meta.App, r.Meta.Policy, r.Meta.Kind,
-			metrics.F(rate), metrics.F(md), label, metrics.Pct(share),
-		})
-	}
-	b.WriteString(dwell.Render())
-	b.WriteByte('\n')
-
-	// Cross-app summary: one row per policy, averaging regret-per-interval
-	// across the apps it ran on — the league table's single-number view.
-	type agg struct {
-		policy, kind string
-		apps         int
-		perIV        []float64
-	}
-	byPolicy := map[string]*agg{}
-	var polOrder []string
-	for _, r := range runs {
-		if r.End.Intervals == 0 {
-			continue
-		}
-		k := r.Meta.Policy + "|" + r.Meta.Kind
-		a := byPolicy[k]
-		if a == nil {
-			a = &agg{policy: r.Meta.Policy, kind: r.Meta.Kind}
-			byPolicy[k] = a
-			polOrder = append(polOrder, k)
-		}
-		a.apps++
-		a.perIV = append(a.perIV, r.End.CumRegretNS/float64(r.End.Intervals))
-	}
-	sort.SliceStable(polOrder, func(i, j int) bool {
-		return metrics.Mean(byPolicy[polOrder[i]].perIV) < metrics.Mean(byPolicy[polOrder[j]].perIV)
-	})
-	summary := metrics.Table{
-		ID:      "summary",
-		Title:   "cross-app policy summary (mean regret per interval)",
-		Columns: []string{"policy", "kind", "runs", "mean_regret_ns/iv"},
-	}
-	for _, k := range polOrder {
-		a := byPolicy[k]
-		summary.Rows = append(summary.Rows, []string{
-			a.policy, a.kind, fmt.Sprint(a.apps), metrics.F(metrics.Mean(a.perIV)),
-		})
-	}
-	b.WriteString(summary.Render())
 	return b.String()
 }

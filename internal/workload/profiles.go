@@ -368,8 +368,51 @@ var registry = []Benchmark{
 	},
 }
 
+// zooRegistry holds the policy-zoo switching-stress streams: synthetic
+// phase-modulated workloads built to make adaptation hard, with a sharper
+// best-configuration contrast and faster phase turnover than anything in
+// the paper's suite. They are queue-only (Mem nil, like go) and are kept
+// OUT of the main registry so All()/QueueApps() keep reproducing the
+// paper's 22-application figures; ZooApps()/ByName expose them.
+var zooRegistry = []Benchmark{
+	{
+		// flutter alternates on a fixed cadence (~50 intervals of 2000
+		// instructions per phase) between a dependence-chain-bound stream
+		// whose ILP a 16-entry queue already captures — the fastest clock
+		// wins — and a distant-parallelism stream only a 128-entry window
+		// can exploit. Every flip moves the best configuration across the
+		// whole menu; phases are long enough that a policy re-probing on
+		// its explore period CAN track them, so reaction lag and switch
+		// charging are both on display.
+		Name: "flutter", Suite: Synthetic,
+		ILP: ILPProfile{
+			Base: ILPParams{SrcWeights: [3]float64{0.10, 0.55, 0.35}, Dists: d2(1.3, 0.95, 3, 0.05), Lats: intLats},
+			Alt:  &ILPParams{SrcWeights: [3]float64{0.30, 0.45, 0.25}, Dists: d2(24, 0.50, 48, 0.50), Lats: intLats},
+			Kind: PhaseRegular, PeriodInstrs: 100_000,
+		},
+	},
+	{
+		// squall is flutter without the metronome: the same two extremes,
+		// but phase runs are geometric with mean ~50 intervals — long calm
+		// stretches punctuated by short squalls. A trigger-happy policy
+		// thrashes on the short runs; a sluggish one forfeits the long
+		// ones.
+		Name: "squall", Suite: Synthetic,
+		ILP: ILPProfile{
+			Base: ILPParams{SrcWeights: [3]float64{0.10, 0.55, 0.35}, Dists: d2(1.3, 0.95, 3, 0.05), Lats: intLats},
+			Alt:  &ILPParams{SrcWeights: [3]float64{0.30, 0.45, 0.25}, Dists: d2(24, 0.50, 48, 0.50), Lats: intLats},
+			Kind: PhaseIrregular, PeriodInstrs: 100_000,
+		},
+	},
+}
+
 func init() {
 	for _, b := range registry {
+		if err := b.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	for _, b := range zooRegistry {
 		if err := b.Validate(); err != nil {
 			panic(err)
 		}

@@ -32,6 +32,9 @@ const (
 	SPECfp95
 	CMU
 	NAS
+	// Synthetic marks the switching-stress streams of the policy zoo,
+	// which live outside the paper's 22-application registry.
+	Synthetic
 )
 
 func (s Suite) String() string {
@@ -44,6 +47,8 @@ func (s Suite) String() string {
 		return "CMU"
 	case NAS:
 		return "NAS"
+	case Synthetic:
+		return "synthetic"
 	default:
 		return fmt.Sprintf("Suite(%d)", int(s))
 	}
@@ -309,9 +314,25 @@ func CacheApps() []Benchmark {
 // QueueApps returns the 22 applications of the instruction-queue experiment.
 func QueueApps() []Benchmark { return All() }
 
-// ByName returns the named benchmark.
+// ZooApps returns the synthetic switching-stress streams of the policy
+// zoo. They are deliberately NOT part of All()/QueueApps(): the paper's
+// figures iterate the 22-application registry, and the zoo profiles exist
+// only to stress adaptation policies (the zoo experiment).
+func ZooApps() []Benchmark {
+	out := make([]Benchmark, len(zooRegistry))
+	copy(out, zooRegistry)
+	return out
+}
+
+// ByName returns the named benchmark, searching the paper registry first
+// and then the policy-zoo registry.
 func ByName(name string) (Benchmark, error) {
 	for _, b := range registry {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range zooRegistry {
 		if b.Name == name {
 			return b, nil
 		}

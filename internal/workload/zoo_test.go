@@ -1,0 +1,98 @@
+package workload
+
+import "testing"
+
+// TestZooRegistryIsolation: the zoo profiles resolve through ByName and
+// ZooApps but must never leak into the paper's 22-application registry —
+// All()/QueueApps() drive the figure experiments.
+func TestZooRegistryIsolation(t *testing.T) {
+	zoo := ZooApps()
+	if len(zoo) != 2 {
+		t.Fatalf("%d zoo apps, want 2", len(zoo))
+	}
+	names := map[string]bool{}
+	for _, b := range zoo {
+		names[b.Name] = true
+		if b.Suite != Synthetic {
+			t.Errorf("%s: suite %v, want Synthetic", b.Name, b.Suite)
+		}
+		if b.Mem != nil {
+			t.Errorf("%s: zoo profiles are queue-only, Mem must be nil", b.Name)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if got, err := ByName(b.Name); err != nil || got.Name != b.Name {
+			t.Errorf("ByName(%s) = %v, %v", b.Name, got.Name, err)
+		}
+	}
+	if !names["flutter"] || !names["squall"] {
+		t.Errorf("zoo apps %v, want flutter and squall", names)
+	}
+	for _, b := range All() {
+		if names[b.Name] {
+			t.Errorf("zoo profile %s leaked into the main registry", b.Name)
+		}
+	}
+	if len(All()) != 22 {
+		t.Errorf("main registry has %d apps, want 22", len(All()))
+	}
+}
+
+// TestZooProfileSeededDeterminism: equal seeds generate byte-identical
+// instruction streams, different seeds diverge — the property every
+// replay/race differential in internal/core builds on.
+func TestZooProfileSeededDeterminism(t *testing.T) {
+	const n = 20_000
+	for _, b := range ZooApps() {
+		s1 := NewInstrStream(b, 7)
+		s2 := NewInstrStream(b, 7)
+		s3 := NewInstrStream(b, 8)
+		same, diff := true, false
+		for i := 0; i < n; i++ {
+			a, bb, c := s1.Next(), s2.Next(), s3.Next()
+			if a != bb {
+				same = false
+			}
+			if a != c {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("%s: same seed produced different streams", b.Name)
+		}
+		if !diff {
+			t.Errorf("%s: seeds 7 and 8 produced identical %d-instr streams", b.Name, n)
+		}
+	}
+}
+
+// TestZooProfilesActuallyPhase: both profiles must spend real time in each
+// regime — a zoo profile stuck in one phase would stress nothing.
+func TestZooProfilesActuallyPhase(t *testing.T) {
+	const n = 600_000
+	for _, b := range ZooApps() {
+		s := NewInstrStream(b, 1998)
+		alt := 0
+		flips := 0
+		prev := s.InAltPhase()
+		for i := 0; i < n; i++ {
+			s.Next()
+			cur := s.InAltPhase()
+			if cur {
+				alt++
+			}
+			if cur != prev {
+				flips++
+			}
+			prev = cur
+		}
+		frac := float64(alt) / float64(n)
+		if frac < 0.2 || frac > 0.8 {
+			t.Errorf("%s: alt-phase residency %.0f%%, want balanced", b.Name, 100*frac)
+		}
+		if flips < 4 {
+			t.Errorf("%s: only %d phase flips in %d instrs", b.Name, flips, n)
+		}
+	}
+}
